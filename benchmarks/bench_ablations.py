@@ -1,0 +1,44 @@
+"""Ablation benchmarks over the design choices DESIGN.md calls out."""
+
+from repro.experiments.ablations import (
+    format_ablation,
+    run_entropy_form_ablation,
+    run_granularity_ablation,
+    run_threshold_ablation,
+    run_tnorm_ablation,
+)
+
+
+class TestAblations:
+    def test_conflict_threshold_sweep(self, benchmark, emit):
+        rows = benchmark.pedantic(
+            run_threshold_ablation,
+            kwargs={"thresholds": (0.05, 0.5)},
+            rounds=1,
+            iterations=1,
+        )
+        assert rows
+        emit("ablations", format_ablation())
+
+    def test_tnorm_sweep(self, benchmark):
+        rows = benchmark.pedantic(run_tnorm_ablation, rounds=1, iterations=1)
+        assert all(detected == 5 for _, detected, _ in rows)
+
+    def test_entropy_form(self, benchmark):
+        rows = benchmark(run_entropy_form_ablation)
+        assert len(rows) == 2
+
+    def test_granularity(self, benchmark):
+        rows = benchmark.pedantic(
+            run_granularity_ablation, kwargs={"granularities": (3, 5, 7)},
+            rounds=1, iterations=1,
+        )
+        assert len(rows) == 3
+
+
+class TestEnvelopeValidation:
+    def test_envelope_vs_monte_carlo(self, benchmark):
+        from repro.experiments import run_envelope_validation
+
+        rows = benchmark.pedantic(run_envelope_validation, rounds=1, iterations=1)
+        assert all(cov == 1.0 for _, _, _, _, cov in rows)

@@ -1,0 +1,52 @@
+"""Benchmarks regenerating the paper's figures 2, 5 and 7.
+
+Each benchmark times one driver end-to-end and prints the reproduced
+table (run with ``-s`` to see them).
+"""
+
+from repro.experiments import (
+    format_figure2,
+    format_figure5,
+    format_figure7,
+    run_figure2,
+    run_figure2_masking,
+    run_figure5,
+    run_figure7,
+)
+
+
+class TestFigure2:
+    def test_propagation_table(self, benchmark, emit):
+        rows = benchmark(run_figure2)
+        assert len(rows) == 3
+        emit("figure2", format_figure2())
+
+    def test_masking_demonstration(self, benchmark):
+        outcomes = benchmark(run_figure2_masking)
+        crisp, fuzzy = outcomes
+        assert crisp.fault_masked and not fuzzy.fault_masked
+
+
+class TestFigure5:
+    def test_diode_example(self, benchmark, emit):
+        result = benchmark(run_figure5)
+        assert result.paper_nogoods_found
+        emit("figure5", format_figure5())
+
+
+class TestFigure7:
+    def test_all_defect_scenarios(self, benchmark, emit):
+        rows = benchmark.pedantic(run_figure7, rounds=3, iterations=1)
+        assert all(row.detected for row in rows)
+        emit("figure7", format_figure7(rows))
+
+    def test_single_hard_fault_scenario(self, benchmark):
+        from repro.experiments.figure7 import FIGURE7_SCENARIOS
+
+        rows = benchmark.pedantic(
+            run_figure7,
+            args=([FIGURE7_SCENARIOS[0]],),
+            rounds=3,
+            iterations=1,
+        )
+        assert rows[0].stage_localised

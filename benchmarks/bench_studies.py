@@ -1,0 +1,78 @@
+"""Benchmarks for the scaling, strategy and learning studies."""
+
+from repro.experiments import (
+    format_learning_eval,
+    format_scaling,
+    format_strategy_eval,
+    run_learning_eval,
+    run_scaling,
+    run_strategy_eval,
+)
+
+
+class TestScaling:
+    def test_scaling_sweep(self, benchmark, emit):
+        rows = benchmark.pedantic(
+            run_scaling, kwargs={"stage_counts": (2, 4, 6, 8)}, rounds=2, iterations=1
+        )
+        assert all(r.fuzzy_detected for r in rows)
+        emit("scaling", format_scaling(rows))
+
+
+class TestStrategy:
+    def test_sequential_isolation(self, benchmark, emit):
+        from repro.experiments.strategy_eval import DEFAULT_FAULTS
+
+        outcomes = benchmark.pedantic(
+            run_strategy_eval,
+            kwargs={"faults": DEFAULT_FAULTS[:3]},
+            rounds=1,
+            iterations=1,
+        )
+        assert outcomes
+        emit("strategy", format_strategy_eval(outcomes))
+
+
+class TestLearning:
+    def test_episode_replay(self, benchmark, emit):
+        rows = benchmark.pedantic(run_learning_eval, rounds=2, iterations=1)
+        assert rows
+        emit("learning", format_learning_eval(rows))
+
+
+class TestMultiFault:
+    def test_double_fault_candidates(self, benchmark, emit):
+        from repro.experiments import format_multifault, run_multifault
+
+        outcomes = benchmark.pedantic(run_multifault, rounds=2, iterations=1)
+        by_size = {o.max_size: o for o in outcomes}
+        assert by_size[2].pair_found
+        emit("multifault", format_multifault(outcomes))
+
+
+class TestDynamicMode:
+    def test_step_response_diagnosis(self, benchmark, emit):
+        from repro.experiments import format_dynamic_eval, run_dynamic_eval
+
+        rows = benchmark.pedantic(run_dynamic_eval, rounds=2, iterations=1)
+        assert all(r.dynamic_detects for r in rows)
+        emit("dynamic", format_dynamic_eval(rows))
+
+
+class TestStrategyLadder:
+    def test_ladder_isolation(self, benchmark, emit):
+        from repro.experiments import format_strategy_eval, run_strategy_eval_ladder
+
+        outcomes = benchmark.pedantic(run_strategy_eval_ladder, rounds=1, iterations=1)
+        planners = {o.planner for o in outcomes}
+        assert planners == {"fuzzy-entropy", "gde-probabilistic", "random"}
+        emit("strategy-ladder", format_strategy_eval(outcomes))
+
+
+class TestDictionary:
+    def test_dictionary_vs_flames(self, benchmark, emit):
+        from repro.experiments import format_dictionary_eval, run_dictionary_eval
+
+        rows = benchmark.pedantic(run_dictionary_eval, rounds=1, iterations=1)
+        assert any(not r.dictionary_correct and r.flames_covers for r in rows)
+        emit("dictionary", format_dictionary_eval(rows))

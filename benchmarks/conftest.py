@@ -1,0 +1,25 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables/figures (see
+DESIGN.md §4) and prints it once, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+both times the pipeline and emits the reproduced tables for
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a reproduced table exactly once per benchmark session."""
+    printed = set()
+
+    def _emit(key: str, text: str) -> None:
+        if key not in printed:
+            printed.add(key)
+            print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+    return _emit

@@ -1,0 +1,73 @@
+"""Dynamic mode: diagnosing a fault the DC engine cannot see.
+
+An open capacitor in an RC low-pass ladder leaves the DC operating point
+untouched (capacitors are open at DC anyway) — the static engine
+declares the unit healthy.  The step response tells a different story,
+and the dynamic diagnoser turns it into weighted candidates.
+
+Run:  python examples/dynamic_mode.py
+"""
+
+from repro.circuit import (
+    DCSolver,
+    Fault,
+    FaultKind,
+    TransientSolver,
+    apply_fault,
+    probe_all,
+    rc_lowpass,
+    step_waveform,
+)
+from repro.core import DynamicDiagnoser, Flames
+
+
+def ascii_plot(times, golden, faulty, width=60, height=10) -> str:
+    """A tiny ASCII overlay of the two step responses."""
+    v_max = max(max(golden), max(faulty), 1e-9)
+    rows = []
+    for level in range(height, -1, -1):
+        threshold = v_max * level / height
+        row = []
+        for i in range(0, len(times), max(len(times) // width, 1)):
+            g_above = golden[i] >= threshold
+            f_above = faulty[i] >= threshold
+            row.append("*" if f_above and g_above else "x" if f_above else "." if g_above else " ")
+        rows.append("".join(row))
+    return "\n".join(rows) + "\n(* both, . golden only, x faulty only)"
+
+
+def main() -> None:
+    golden = rc_lowpass(2)
+    waveforms = {"Vin": step_waveform(0.0, 5.0)}
+    fault = Fault(FaultKind.PARAM, "C1", "capacitance", 1e-12)  # open C1
+    faulty = apply_fault(golden, fault)
+    print(f"injected: {fault.describe()} (an open capacitor)")
+
+    # Static view: DC probes on the settled unit.
+    op = DCSolver(faulty).solve()
+    static = Flames(golden).diagnose(probe_all(op, ["m1", "m2"], imprecision=0.01))
+    print(f"\nstatic engine verdict: {'HEALTHY' if static.is_consistent else 'faulty'}"
+          "  <- blind: capacitors are open at DC")
+
+    # Dynamic view: the step response.
+    diagnoser = DynamicDiagnoser(golden, waveforms, dt=5e-5, duration=5e-3)
+    golden_resp = diagnoser.simulate_golden()
+    faulty_resp = TransientSolver(
+        faulty, waveforms=waveforms, dt=5e-5, initial="dc"
+    ).run(5e-3)
+
+    print("\nstep response at m2 (golden vs faulty):")
+    print(ascii_plot(golden_resp.times, golden_resp.voltage("m2"), faulty_resp.voltage("m2")))
+
+    result = diagnoser.diagnose(faulty_resp)
+    print(f"\ndynamic engine verdict: {'healthy' if result.is_consistent else 'FAULTY'}")
+    print("sample consistencies (net, time -> Dc):")
+    for (net, t), cons in sorted(result.consistencies.items()):
+        if net != "in":
+            print(f"  {net} @ {t * 1e3:.0f} ms: Dc = {cons.degree:.2f}")
+    print("suspicions:", result.suspicions)
+    print("candidates:", result.diagnoses[:4])
+
+
+if __name__ == "__main__":
+    main()

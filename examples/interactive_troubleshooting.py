@@ -1,0 +1,58 @@
+"""A troubleshooting session driven by the best-test strategy unit.
+
+Starts from a single output measurement on a faulty three-stage
+amplifier and lets the fuzzy-entropy planner decide which node to probe
+next, re-diagnosing after every probe — the workflow the paper's §8
+describes ("recommend at any point the next best test to make").
+
+Run:  python examples/interactive_troubleshooting.py
+"""
+
+from repro.circuit import DCSolver, Fault, FaultKind, apply_fault, probe, three_stage_amplifier
+from repro.core import Flames
+from repro.core.strategy import BestTestPlanner
+
+
+def main() -> None:
+    golden = three_stage_amplifier()
+    engine = Flames(golden)
+    planner = BestTestPlanner(engine)
+
+    # The hidden defect the "technician" is hunting.
+    fault = Fault(FaultKind.NODE_OPEN, "T1", pin="b")
+    bench = DCSolver(apply_fault(golden, fault)).solve()
+    print(f"(hidden defect: {fault.describe()})")
+
+    measurements = [probe(bench, "vs", imprecision=0.02)]
+    print(f"step 0: measure the output -> {measurements[0]}")
+
+    for step in range(1, 7):
+        result = engine.diagnose(measurements)
+        ranked = result.ranked_components()
+        print(f"  suspicions: {[f'{n}:{s:.2f}' for n, s in ranked[:5]]}")
+
+        recommendation = planner.best(result)
+        if recommendation is None:
+            print("  every point has been probed")
+            break
+        entropy_now = planner.system_entropy(result)
+        print(
+            f"step {step}: entropy ~{entropy_now.centroid:.2f} bits; "
+            f"planner recommends {recommendation.point} "
+            f"(expected entropy {recommendation.score:.2f})"
+        )
+        net = recommendation.point[2:-1]
+        measurement = probe(bench, net, imprecision=0.02)
+        print(f"  probing -> {measurement}")
+        measurements.append(measurement)
+
+    result = engine.diagnose(measurements)
+    print()
+    print("final ranking:")
+    for name, score in result.ranked_components():
+        marker = " <-- injected stage" if name in ("T1", "R1", "R3") else ""
+        print(f"  {name}: {score:.2f}{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Learning from experience: a repair-shop simulation.
+
+A stream of faulty units arrives; each confirmed diagnosis is recorded
+as a symptom-failure rule (paper §7).  When a later unit shows a symptom
+signature the shop has seen before, the learned rule re-ranks the
+candidates — watch the true culprit climb to rank 1.
+
+Run:  python examples/learning_workshop.py
+"""
+
+from repro.circuit import DCSolver, Fault, FaultKind, apply_fault, probe_all, three_stage_amplifier
+from repro.core import Flames
+from repro.core.learning import ExperienceBase, SymptomSignature
+
+WORK_ORDERS = [
+    ("unit 001", "R2", Fault(FaultKind.SHORT, "R2")),
+    ("unit 002", "R3", Fault(FaultKind.OPEN, "R3")),
+    ("unit 003", "R2", Fault(FaultKind.SHORT, "R2")),  # repeat symptom
+    ("unit 004", "R3", Fault(FaultKind.OPEN, "R3")),  # repeat symptom
+    ("unit 005", "R6", Fault(FaultKind.OPEN, "R6")),  # novel symptom
+]
+
+
+def rank_of(scores, culprit):
+    ordered = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))
+    return next(i for i, (name, _) in enumerate(ordered, 1) if name == culprit)
+
+
+def main() -> None:
+    golden = three_stage_amplifier()
+    engine = Flames(golden)
+    shop = ExperienceBase(base_certainty=0.6)
+
+    for order, culprit, fault in WORK_ORDERS:
+        bench = DCSolver(apply_fault(golden, fault)).solve()
+        measurements = probe_all(bench, ["vs", "v2", "v1"], imprecision=0.02)
+        result = engine.diagnose(measurements)
+        signature = SymptomSignature.from_result(result)
+
+        hits = shop.suggest(signature)
+        plain_rank = rank_of(result.suspicions, culprit)
+        print(f"{order}: symptoms {signature!r}")
+        if hits:
+            boosted = shop.boost_suspicions(result.suspicions, signature)
+            print(
+                f"  experience fires: {[repr(rule) for rule, _ in hits[:2]]}"
+            )
+            print(
+                f"  culprit {culprit}: rank {plain_rank} from evidence alone, "
+                f"rank {rank_of(boosted, culprit)} with experience"
+            )
+        else:
+            print(f"  no matching experience; culprit {culprit} at rank {plain_rank}")
+
+        # The technician confirms the repair; the shop learns.
+        rule = shop.record_result(result, culprit, fault.kind.value)
+        print(f"  recorded -> {rule!r}")
+        print()
+
+    print(f"knowledge after {shop.episode_count} work orders: {len(shop)} rules")
+    for rule in shop.rules:
+        print(f"  {rule!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""The downstream-user workflow: from a netlist file to a repair ticket.
+
+1. Load the golden design from a SPICE-subset netlist.
+2. Receive a faulty unit (simulated here), measure a few nodes.
+3. Run a troubleshooting session: diagnose, refine with fault modes,
+   let the planner pick extra probes, confirm the repair.
+4. Persist the shop's accumulated experience to disk.
+
+Run:  python examples/netlist_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.circuit import DCSolver, Fault, FaultKind, apply_fault, parse_netlist
+from repro.core import ExperienceBase, TroubleshootingSession
+
+BOARD = """
+.title sensor front-end
+* bias divider into an emitter follower driving a load
+Vcc vcc 0 15
+Rb1 vcc base 100k tol=0.05
+Rb2 base 0 47k tol=0.05
+Q1 vcc base out 200 vbe=0.7
+Rload out 0 4.7k tol=0.05
+Rsense out tap 1k tol=0.05
+Rtap tap 0 9k tol=0.05
+"""
+
+
+def main() -> None:
+    golden = parse_netlist(BOARD)
+    print(f"loaded golden design {golden.name!r} "
+          f"({len(golden.components)} components)")
+
+    # A returned unit: the load resistor has drifted badly.
+    fault = Fault(FaultKind.PARAM, "Rload", value=9.4e3)
+    bench = DCSolver(apply_fault(golden, fault)).solve()
+    print(f"(hidden defect: {fault.describe()})\n")
+
+    shop_memory = ExperienceBase()
+    session = TroubleshootingSession(golden, experience=shop_memory)
+
+    # First reading: the sense tap.
+    session.observe_probe(bench, "tap", imprecision=0.01)
+    print(f"after probing tap: healthy={session.unit_looks_healthy}")
+
+    # Let the strategy unit choose follow-up probes.
+    for _ in range(3):
+        if session.unit_looks_healthy:
+            break
+        recommendation = session.recommend_next()
+        if recommendation is None:
+            break
+        net = recommendation.point[2:-1]
+        print(f"planner recommends {recommendation.point}")
+        session.observe_probe(bench, net, imprecision=0.01)
+
+    print()
+    print(session.report(title=f"repair ticket — {golden.name}"))
+
+    confirmed = session.refinements(top_k=1)
+    if confirmed:
+        best = confirmed[0]
+        print(f"\ntechnician confirms: {best.component} ({best.mode})")
+        session.confirm(best.component, best.mode)
+
+    # The shop's memory survives the process.
+    store = Path(tempfile.gettempdir()) / "flames_shop.json"
+    shop_memory.save(store)
+    print(f"experience saved to {store} "
+          f"({len(ExperienceBase.load(store))} rule(s))")
+
+
+if __name__ == "__main__":
+    main()

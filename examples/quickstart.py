@@ -1,0 +1,62 @@
+"""Quickstart: diagnose a soft fault in a voltage divider.
+
+Builds a two-resistor divider, injects a parametric drift, synthesises a
+bench measurement, and runs the FLAMES engine end to end.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.circuit import (
+    Circuit,
+    DCSolver,
+    Fault,
+    FaultKind,
+    GROUND,
+    Resistor,
+    VoltageSource,
+    apply_fault,
+    probe,
+)
+from repro.core import Flames
+from repro.core.report import render_report
+
+
+def build_divider() -> Circuit:
+    """A 12 V supply driving a 10k/10k divider (5 % parts)."""
+    circuit = Circuit("divider")
+    circuit.add(VoltageSource("Vin", 12.0, p="top", n=GROUND))
+    circuit.add(Resistor("Rtop", 10e3, 0.05, a="top", b="mid"))
+    circuit.add(Resistor("Rbot", 10e3, 0.05, a="mid", b=GROUND))
+    return circuit
+
+
+def main() -> None:
+    golden = build_divider()
+
+    # The unit under test: Rbot drifted 40 % high (a soft fault).
+    fault = Fault(FaultKind.PARAM, "Rbot", value=14e3)
+    faulty = apply_fault(golden, fault)
+    print(f"injected: {fault.describe()}")
+
+    # Bench: measure the divider midpoint on the faulty unit.
+    operating_point = DCSolver(faulty).solve()
+    measurement = probe(operating_point, "mid", imprecision=0.02)
+    print(f"bench reads {measurement}")
+
+    # FLAMES: model-based diagnosis from that single measurement.
+    engine = Flames(golden)
+    result = engine.diagnose([measurement])
+    print()
+    print(render_report(result, title="quickstart diagnosis"))
+
+    # The fuzzy part: the same measurement against the nominal prediction.
+    consistency = result.consistencies["V(mid)"]
+    print()
+    print(
+        f"degree of consistency Dc = {consistency.degree:.2f} "
+        f"({'measured high' if consistency.direction > 0 else 'measured low'})"
+    )
+
+
+if __name__ == "__main__":
+    main()

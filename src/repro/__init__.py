@@ -1,0 +1,53 @@
+"""FLAMES — a Fuzzy Logic ATMS and Model-based Expert System for Analog Diagnosis.
+
+Reproduction of F. Mohamed, M. Marzouki, M.H. Touati (ED&TC / DATE 1996).
+
+Public API quick map:
+
+* :mod:`repro.fuzzy`      — trapezoidal fuzzy intervals, Dc, linguistic scales,
+  fuzzy entropy.
+* :mod:`repro.atms`       — classic assumption-based TMS plus the fuzzy
+  extension (weighted nogoods, ranked candidates).
+* :mod:`repro.circuit`    — netlists, component models, fault injection and a
+  DC operating-point simulator used to synthesise measurements.
+* :mod:`repro.core`       — the FLAMES engine: fuzzy propagation, conflict
+  recognition, diagnosis, knowledge base, learning, best-test strategy.
+* :mod:`repro.baselines`  — DIANA-style crisp-interval diagnosis and GDE-style
+  probabilistic test selection, used for comparison benchmarks.
+* :mod:`repro.experiments`— drivers regenerating every paper table/figure.
+"""
+
+from repro.fuzzy import FuzzyInterval, Consistency, consistency
+from repro.circuit import Circuit, DCSolver, Fault, FaultKind, apply_fault, parse_netlist, probe
+from repro.core import (
+    DynamicDiagnoser,
+    Flames,
+    FlamesConfig,
+    KnowledgeBase,
+    ExperienceBase,
+    BestTestPlanner,
+    TroubleshootingSession,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FuzzyInterval",
+    "Consistency",
+    "consistency",
+    "Circuit",
+    "DCSolver",
+    "Fault",
+    "FaultKind",
+    "apply_fault",
+    "parse_netlist",
+    "probe",
+    "Flames",
+    "FlamesConfig",
+    "DynamicDiagnoser",
+    "KnowledgeBase",
+    "ExperienceBase",
+    "BestTestPlanner",
+    "TroubleshootingSession",
+    "__version__",
+]

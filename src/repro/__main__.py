@@ -1,0 +1,161 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``tables [name ...]`` — regenerate the paper's tables (all by default;
+  names: figure2, figure5, figure7, scaling, strategy, learning,
+  multifault, dynamic, ablations).
+* ``diagnose NETLIST --probe NET=VOLTS [--probe ...]`` — diagnose a unit
+  described by a SPICE-subset netlist from bench readings.
+* ``simulate NETLIST`` — print the DC operating point of a netlist.
+* ``demo`` — the quickstart walk-through on the three-stage amplifier.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.circuit.measurements import Measurement
+from repro.circuit.simulate import DCSolver
+from repro.circuit.spice import parse_netlist
+from repro.core.diagnosis import Flames
+from repro.core.knowledge import KnowledgeBase
+from repro.core.report import render_report
+from repro.fuzzy import FuzzyInterval
+
+_TABLES = {
+    "figure2": "format_figure2",
+    "figure5": "format_figure5",
+    "figure7": "format_figure7",
+    "scaling": "format_scaling",
+    "strategy": "format_strategy_eval",
+    "learning": "format_learning_eval",
+    "multifault": "format_multifault",
+    "dynamic": "format_dynamic_eval",
+}
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    import repro.experiments as experiments
+
+    names = args.names or list(_TABLES) + ["ablations"]
+    for name in names:
+        if name == "ablations":
+            from repro.experiments.ablations import format_ablation
+
+            print(format_ablation())
+        elif name in _TABLES:
+            print(getattr(experiments, _TABLES[name])())
+        else:
+            print(f"unknown table {name!r}; choices: {', '.join(_TABLES)} ablations",
+                  file=sys.stderr)
+            return 2
+        print()
+    return 0
+
+
+def _load_circuit(path: str):
+    text = Path(path).read_text()
+    return parse_netlist(text, name=Path(path).stem)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.netlist)
+    op = DCSolver(circuit).solve()
+    print(f"DC operating point of {circuit.name}:")
+    for net in sorted(op.voltages):
+        print(f"  V({net}) = {op.voltages[net]:.6g} V")
+    for comp, state in sorted(op.device_states.items()):
+        print(f"  {comp}: {state}")
+    return 0
+
+
+def _parse_probe(spec: str, imprecision: float) -> Measurement:
+    net, _, raw = spec.partition("=")
+    if not raw:
+        raise SystemExit(f"--probe expects NET=VOLTS, got {spec!r}")
+    return Measurement(f"V({net})", FuzzyInterval.number(float(raw), imprecision))
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.netlist)
+    engine = Flames(circuit)
+    measurements = [_parse_probe(p, args.imprecision) for p in args.probe]
+    result = engine.diagnose(measurements)
+    refinements = None
+    if not result.is_consistent and not args.no_refine:
+        refinements = KnowledgeBase(circuit).refine(
+            result.suspicions, measurements, top_k=5
+        )
+    print(render_report(result, refinements, title=f"diagnosis of {circuit.name}"))
+    return 0 if result.is_consistent else 1
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.circuit.faults import Fault, FaultKind, apply_fault
+    from repro.circuit.library import three_stage_amplifier
+    from repro.circuit.measurements import probe_all
+
+    golden = three_stage_amplifier()
+    fault = Fault(FaultKind.SHORT, "R2")
+    print(f"demo: {golden.name} with an injected '{fault.describe()}'\n")
+    op = DCSolver(apply_fault(golden, fault)).solve()
+    measurements = probe_all(op, ["vs", "v2", "v1"], imprecision=0.02)
+    engine = Flames(golden)
+    result = engine.diagnose(measurements)
+    refinements = KnowledgeBase(golden).refine(result.suspicions, measurements)
+    print(render_report(result, refinements, title="FLAMES demo"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FLAMES — fuzzy-logic ATMS analog diagnosis (DATE 1996 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tables = sub.add_parser("tables", help="regenerate the paper's tables")
+    tables.add_argument("names", nargs="*", help="which tables (default: all)")
+    tables.set_defaults(func=_cmd_tables)
+
+    simulate = sub.add_parser("simulate", help="DC operating point of a netlist")
+    simulate.add_argument("netlist", help="SPICE-subset netlist file")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    diagnose = sub.add_parser("diagnose", help="diagnose a unit from bench readings")
+    diagnose.add_argument("netlist", help="golden design (SPICE-subset netlist)")
+    diagnose.add_argument(
+        "--probe",
+        action="append",
+        default=[],
+        required=True,
+        help="measured node voltage, NET=VOLTS (repeatable)",
+    )
+    diagnose.add_argument(
+        "--imprecision",
+        type=float,
+        default=0.02,
+        help="instrument imprecision in volts (default 0.02)",
+    )
+    diagnose.add_argument(
+        "--no-refine", action="store_true", help="skip fault-mode refinement"
+    )
+    diagnose.set_defaults(func=_cmd_diagnose)
+
+    demo = sub.add_parser("demo", help="diagnose a shorted resistor on the paper's amplifier")
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

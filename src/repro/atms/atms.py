@@ -1,0 +1,253 @@
+"""The assumption-based truth maintenance system (de Kleer, AIJ 1986).
+
+The ATMS maintains, for every node, the *label*: the set of minimal
+assumption environments under which the node holds.  Labels are kept
+
+* **sound** — the node is derivable from each label environment,
+* **consistent** — no label environment contains a (hard) nogood,
+* **minimal** — no label environment subsumes another, and
+* **complete** — every consistent derivation environment is a superset
+  of some label environment,
+
+by incremental propagation over the justification graph (the *weave*).
+
+Degrees are threaded through the whole algorithm so that the fuzzy
+extension (:mod:`repro.atms.fuzzy_atms`) is a configuration, not a fork:
+with every degree equal to 1.0 this is precisely the classic ATMS.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.atms.assumptions import Assumption, Environment
+from repro.atms.nodes import Justification, Node
+from repro.atms.nogood import NogoodDatabase, WeightedNogood
+from repro.fuzzy.logic import TNorm, t_norm_min
+
+__all__ = ["ATMS"]
+
+
+class ATMS:
+    """Classic ATMS over weighted environments.
+
+    Args:
+        t_norm: conjunction used to combine degrees along a derivation
+            (min by default, matching possibilistic semantics).
+        hard_threshold: nogood degree at and above which environments are
+            considered frankly inconsistent and pruned from labels.
+    """
+
+    def __init__(self, t_norm: TNorm = t_norm_min, hard_threshold: float = 1.0) -> None:
+        self.t_norm = t_norm
+        self.nodes: Dict[str, Node] = {}
+        self.nogoods = NogoodDatabase(hard_threshold)
+        self.contradiction = self.create_node("FALSE", contradiction=True)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def create_node(self, datum: str, contradiction: bool = False) -> Node:
+        """Create (or fetch) a plain node for ``datum``."""
+        if datum in self.nodes:
+            existing = self.nodes[datum]
+            if existing.is_contradiction != contradiction:
+                raise ValueError(f"node {datum!r} already exists with another role")
+            return existing
+        node = Node(datum=datum, is_contradiction=contradiction)
+        self.nodes[datum] = node
+        return node
+
+    def create_assumption(self, name: str, datum: str = "") -> Node:
+        """Create an assumption node; its label starts as ``{{A}}``."""
+        if name in self.nodes:
+            node = self.nodes[name]
+            if not node.is_assumption:
+                raise ValueError(f"node {name!r} already exists and is not an assumption")
+            return node
+        assumption = Assumption(name, datum or name)
+        node = Node(datum=name, assumption=assumption)
+        node.label[Environment.of(assumption)] = 1.0
+        self.nodes[name] = node
+        return node
+
+    def add_premise(self, node: Node) -> None:
+        """Assert ``node`` unconditionally (holds in the empty environment)."""
+        self._enqueue_update(node, {Environment.empty(): 1.0})
+        self._drain()
+
+    def justify(
+        self,
+        informant: str,
+        antecedents: Sequence[Node],
+        consequent: Node,
+        degree: float = 1.0,
+    ) -> Justification:
+        """Add ``antecedents -> consequent`` and propagate labels."""
+        just = Justification(informant, tuple(antecedents), consequent, degree)
+        consequent.justifications.append(just)
+        for ant in just.antecedents:
+            ant.consequences.append(just)
+        envs = self._weave(just)
+        self._enqueue_update(consequent, envs)
+        self._drain()
+        return just
+
+    def declare_nogood(
+        self, informant: str, antecedents: Sequence[Node], degree: float = 1.0
+    ) -> Justification:
+        """Declare the conjunction of ``antecedents`` contradictory."""
+        return self.justify(informant, antecedents, self.contradiction, degree)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def node(self, datum: str) -> Node:
+        return self.nodes[datum]
+
+    def assumptions(self) -> List[Node]:
+        return [n for n in self.nodes.values() if n.is_assumption]
+
+    def label(self, node: Node) -> List[Environment]:
+        """Minimal supporting environments, smallest first."""
+        return sorted(node.label, key=lambda e: (e.size, repr(e)))
+
+    def is_in(self, node: Node, env: Optional[Environment] = None) -> bool:
+        if env is None:
+            return node.is_in
+        return node.holds_in(env)
+
+    def consistent(self, env: Environment) -> bool:
+        return not self.nogoods.is_inconsistent(env)
+
+    def minimal_nogoods(self, threshold: float = 0.0) -> List[WeightedNogood]:
+        return self.nogoods.minimal(threshold)
+
+    # ------------------------------------------------------------------
+    # Label propagation
+    # ------------------------------------------------------------------
+    def _weave(
+        self,
+        just: Justification,
+        trigger: Optional[Node] = None,
+        trigger_envs: Optional[Dict[Environment, float]] = None,
+    ) -> Dict[Environment, float]:
+        """Candidate consequent environments from the antecedent labels.
+
+        When ``trigger`` is given, that antecedent is restricted to its
+        freshly added environments — the standard incremental weave.
+        """
+        acc: Dict[Environment, float] = {Environment.empty(): just.degree}
+        for ant in just.antecedents:
+            label = trigger_envs if ant is trigger else ant.label
+            if not label:
+                return {}
+            nxt: Dict[Environment, float] = {}
+            for env_a, d_a in acc.items():
+                for env_b, d_b in label.items():
+                    union = env_a.union(env_b)
+                    if self.nogoods.is_inconsistent(union):
+                        continue
+                    degree = self.t_norm(d_a, d_b)
+                    if degree <= 0.0:
+                        continue
+                    if nxt.get(union, 0.0) < degree:
+                        nxt[union] = degree
+            acc = _minimise(nxt)
+            if not acc:
+                return {}
+        return acc
+
+    def _enqueue_update(self, node: Node, envs: Dict[Environment, float]) -> None:
+        if envs:
+            self._queue.append((node, envs))
+
+    @property
+    def _queue(self) -> deque:
+        # Lazily created so subclasses need not call super().__init__ first.
+        queue = getattr(self, "_work_queue", None)
+        if queue is None:
+            queue = deque()
+            self._work_queue = queue
+        return queue
+
+    def _drain(self) -> None:
+        queue = self._queue
+        while queue:
+            node, envs = queue.popleft()
+            added = self._update_label(node, envs)
+            if not added:
+                continue
+            if node.is_contradiction:
+                self._record_nogoods(added)
+                node.label.clear()
+                continue
+            for just in node.consequences:
+                woven = self._weave(just, trigger=node, trigger_envs=added)
+                self._enqueue_update(just.consequent, woven)
+
+    def _update_label(
+        self, node: Node, envs: Dict[Environment, float]
+    ) -> Dict[Environment, float]:
+        """Merge candidate environments into a node label; return additions."""
+        added: Dict[Environment, float] = {}
+        for env, degree in envs.items():
+            if self.nogoods.is_inconsistent(env):
+                continue
+            if any(
+                e.is_subset(env) and node.label[e] >= degree for e in node.label
+            ):
+                continue
+            doomed = [
+                e
+                for e in node.label
+                if env.is_subset(e) and node.label[e] <= degree and e != env
+            ]
+            for e in doomed:
+                del node.label[e]
+                added.pop(e, None)
+            node.label[env] = degree
+            added[env] = degree
+        return added
+
+    def _record_nogoods(self, envs: Dict[Environment, float]) -> None:
+        for env, degree in envs.items():
+            if not self.nogoods.add(env, degree):
+                continue
+            if degree >= self.nogoods.hard_threshold:
+                self._retract(env)
+
+    def _retract(self, nogood_env: Environment) -> None:
+        """Remove the nogood environment and its supersets from every label."""
+        for node in self.nodes.values():
+            doomed = [e for e in node.label if nogood_env.is_subset(e)]
+            for e in doomed:
+                del node.label[e]
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used by benchmarks)
+    # ------------------------------------------------------------------
+    def label_sizes(self) -> Dict[str, int]:
+        """Number of label environments per node (label-growth metric)."""
+        return {datum: len(node.label) for datum, node in self.nodes.items()}
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "nodes": len(self.nodes),
+            "assumptions": len(self.assumptions()),
+            "justifications": sum(len(n.justifications) for n in self.nodes.values()),
+            "nogoods": len(self.nogoods),
+            "label_environments": sum(len(n.label) for n in self.nodes.values()),
+        }
+
+
+def _minimise(envs: Dict[Environment, float]) -> Dict[Environment, float]:
+    """Drop environments subsumed by a subset at an equal-or-higher degree."""
+    kept: Dict[Environment, float] = {}
+    for env in sorted(envs, key=lambda e: (e.size, -envs[e])):
+        degree = envs[env]
+        if any(e.is_subset(env) and kept[e] >= degree for e in kept):
+            continue
+        kept[env] = degree
+    return kept

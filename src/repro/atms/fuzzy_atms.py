@@ -1,0 +1,114 @@
+"""The fuzzy ATMS — FLAMES's kernel (paper section 6).
+
+Extends the classic ATMS in the three ways the paper describes:
+
+* **uncertain clauses** — justifications carry certainty degrees, so the
+  expert can add fault-estimation rules and component fault models "with
+  certainty degrees";
+* **weighted nogoods** — a frank conflict records a nogood with degree 1,
+  a *partial* conflict (``0 < Dc < 1``) records a nogood with degree
+  ``1 - Dc`` which ranks candidates without pruning environments;
+* **non-Horn clauses** — a disjunctive consequent is encoded by choice
+  assumptions (one per disjunct) plus a nogood over their joint absence,
+  provided by :meth:`FuzzyATMS.add_disjunction`.
+
+With ``hard_threshold = 1.0`` (the default) only total conflicts remove
+environments from labels, which is exactly the behaviour that lets
+FLAMES keep "possibly true in order-of-magnitude" values alive with a
+membership degree instead of discarding them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.atms.assumptions import Assumption, Environment
+from repro.atms.atms import ATMS
+from repro.atms.nodes import Node
+from repro.atms.nogood import WeightedNogood
+from repro.fuzzy.logic import TNorm, t_norm_min
+
+__all__ = ["FuzzyATMS", "WeightedNogood"]
+
+
+class FuzzyATMS(ATMS):
+    """ATMS over degree-weighted environments with soft conflicts."""
+
+    def __init__(
+        self, t_norm: TNorm = t_norm_min, hard_threshold: float = 1.0
+    ) -> None:
+        super().__init__(t_norm=t_norm, hard_threshold=hard_threshold)
+        self._disjunction_counter = 0
+
+    # ------------------------------------------------------------------
+    # Soft conflicts
+    # ------------------------------------------------------------------
+    def declare_soft_nogood(
+        self, informant: str, antecedents: Sequence[Node], conflict_degree: float
+    ) -> None:
+        """Record a (possibly partial) conflict among ``antecedents``.
+
+        ``conflict_degree`` is ``1 - Dc``: 1 means a frank conflict, lower
+        values mean the discrepancy is only partially outside tolerance.
+        Zero-degree "conflicts" are ignored (a corroboration is not a
+        conflict — and, as the paper stresses, not an exoneration either).
+        """
+        if conflict_degree <= 0.0:
+            return
+        self.declare_nogood(informant, antecedents, min(conflict_degree, 1.0))
+
+    def weighted_nogoods(self, threshold: float = 0.0) -> List[WeightedNogood]:
+        """All recorded nogoods above ``threshold``, most serious first."""
+        return self.nogoods.minimal(threshold)
+
+    # ------------------------------------------------------------------
+    # Non-Horn support
+    # ------------------------------------------------------------------
+    def add_disjunction(
+        self, informant: str, disjuncts: Sequence[Node], degree: float = 1.0
+    ) -> List[Node]:
+        """Assert ``d1 or d2 or ... or dn`` (a non-Horn clause).
+
+        Encoded with one fresh *choice assumption* per disjunct: choosing
+        ``Ci`` justifies ``di``, and the set of all choices is exhaustive
+        — any environment that makes every choice's negation hold is
+        contradictory.  Concretely we justify each disjunct from its
+        choice and declare every pair of choices mutually exclusive only
+        implicitly (the ATMS reasons fine with overlapping choices; the
+        exhaustiveness nogood is what encodes the disjunction).
+
+        Returns the choice assumption nodes so callers can reason about
+        the alternatives.
+        """
+        if not disjuncts:
+            raise ValueError("a disjunction needs at least one disjunct")
+        self._disjunction_counter += 1
+        tag = f"choice#{self._disjunction_counter}"
+        choices: List[Node] = []
+        negations: List[Node] = []
+        for i, disjunct in enumerate(disjuncts):
+            choice = self.create_assumption(f"{tag}.{i}[{disjunct.datum}]")
+            self.justify(informant, [choice], disjunct, degree)
+            negation = self.create_assumption(f"not({tag}.{i})")
+            self.declare_nogood(f"{informant}:excl", [choice, negation])
+            choices.append(choice)
+            negations.append(negation)
+        # Exhaustiveness: rejecting every disjunct is contradictory.
+        self.declare_nogood(f"{informant}:exhaust", negations, degree)
+        return choices
+
+    # ------------------------------------------------------------------
+    # Candidate-facing queries
+    # ------------------------------------------------------------------
+    def assumption_suspicions(self, threshold: float = 0.0) -> Dict[Assumption, float]:
+        """Max nogood degree per assumption — the paper's candidate order."""
+        scores: Dict[Assumption, float] = {}
+        for nogood in self.weighted_nogoods(threshold):
+            for assumption in nogood.environment:
+                if scores.get(assumption, 0.0) < nogood.degree:
+                    scores[assumption] = nogood.degree
+        return scores
+
+    def environment_degree(self, env: Environment) -> float:
+        """How consistent an environment still is: ``1 - conflict degree``."""
+        return 1.0 - self.nogoods.conflict_degree(env)

@@ -1,0 +1,54 @@
+"""Interpretations: maximal consistent environments.
+
+de Kleer's ATMS characterises the global solution space through the
+*interpretations* — maximal assumption environments that contain no
+nogood.  FLAMES itself reasons on nogoods and candidates, but the
+scaling benchmark compares interpretation counts between crisp and
+fuzzy conflict handling, so we implement the construction directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.atms.assumptions import Assumption, Environment
+from repro.atms.nogood import NogoodDatabase
+
+__all__ = ["interpretations"]
+
+
+def interpretations(
+    assumptions: Sequence[Assumption],
+    nogoods: NogoodDatabase,
+    limit: int = 10000,
+) -> List[Environment]:
+    """All maximal environments over ``assumptions`` consistent with ``nogoods``.
+
+    Depth-first construction with subset pruning.  ``limit`` bounds the
+    result count defensively — interpretation counts grow exponentially
+    with faults under consideration, which is exactly why the paper keeps
+    the ATMS around.
+    """
+    ordered = sorted(assumptions)
+    results: List[Environment] = []
+
+    def extend(index: int, current: Environment) -> None:
+        if len(results) >= limit:
+            return
+        if index == len(ordered):
+            if not any(current.is_subset(r) for r in results):
+                results[:] = [r for r in results if not r.is_proper_subset(current)]
+                results.append(current)
+            return
+        candidate = Environment(current.assumptions | {ordered[index]})
+        if not nogoods.is_inconsistent(candidate):
+            extend(index + 1, candidate)
+        extend(index + 1, current)
+
+    extend(0, Environment.empty())
+    # Final maximality sweep (branch order can admit dominated leaves).
+    maximal: List[Environment] = []
+    for env in sorted(results, key=lambda e: -e.size):
+        if not any(env.is_proper_subset(kept) for kept in maximal):
+            maximal.append(env)
+    return maximal

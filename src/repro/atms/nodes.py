@@ -1,0 +1,77 @@
+"""ATMS nodes and justifications."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.atms.assumptions import Assumption, Environment
+
+__all__ = ["Node", "Justification"]
+
+
+@dataclass
+class Node:
+    """A problem-solver datum tracked by the ATMS.
+
+    The *label* maps each supporting environment to the degree with which
+    the node holds in it (always 1.0 in the classic ATMS; in (0, 1] for
+    the fuzzy extension).  Labels are maintained minimal (no environment
+    subsumes another at an equal-or-higher degree), sound and consistent.
+    """
+
+    datum: str
+    assumption: Optional[Assumption] = None
+    is_contradiction: bool = False
+    label: Dict[Environment, float] = field(default_factory=dict)
+    justifications: List["Justification"] = field(default_factory=list)
+    consequences: List["Justification"] = field(default_factory=list)
+
+    @property
+    def is_assumption(self) -> bool:
+        return self.assumption is not None
+
+    @property
+    def is_in(self) -> bool:
+        """True when the node holds in at least one consistent environment."""
+        return bool(self.label)
+
+    @property
+    def environments(self) -> List[Environment]:
+        return list(self.label.keys())
+
+    def holds_in(self, env: Environment) -> bool:
+        """True when some label environment is a subset of ``env``."""
+        return any(e.is_subset(env) for e in self.label)
+
+    def degree_in(self, env: Environment) -> float:
+        """Strongest degree with which the node holds in ``env`` (0 if out)."""
+        return max(
+            (d for e, d in self.label.items() if e.is_subset(env)), default=0.0
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flag = "!" if self.is_contradiction else ("A:" if self.is_assumption else "")
+        return f"<{flag}{self.datum} {sorted(self.label, key=lambda e: e.size)}>"
+
+
+@dataclass
+class Justification:
+    """``antecedents -> consequent`` with an informant tag and a certainty.
+
+    ``degree`` is 1.0 for hard (classical) inferences; the fuzzy ATMS uses
+    it for uncertain clauses such as expert fault-estimation rules.
+    """
+
+    informant: str
+    antecedents: Sequence[Node]
+    consequent: Node
+    degree: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.degree <= 1.0:
+            raise ValueError(f"justification degree {self.degree} outside (0, 1]")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ants = ",".join(a.datum for a in self.antecedents) or "T"
+        return f"({ants} => {self.consequent.datum} [{self.informant}])"

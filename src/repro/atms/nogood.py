@@ -1,0 +1,113 @@
+"""Weighted nogood database.
+
+A *nogood* is a set of assumptions that jointly support a contradiction.
+FLAMES attaches a degree to every nogood: ``1`` for a frank conflict,
+``1 - Dc`` for a partial conflict (paper section 6.1.2).  The database
+keeps the collection minimal under the degree-aware subsumption rule: a
+nogood is redundant when a *subset* of it is already known to fail at an
+equal or higher degree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.atms.assumptions import Environment
+
+__all__ = ["WeightedNogood", "NogoodDatabase"]
+
+
+@dataclass(frozen=True)
+class WeightedNogood:
+    """A minimal conflicting environment together with its seriousness."""
+
+    environment: Environment
+    degree: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.degree <= 1.0:
+            raise ValueError(f"nogood degree {self.degree} outside (0, 1]")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Nogood{self.environment!r}@{self.degree:g}"
+
+
+class NogoodDatabase:
+    """Minimal store of weighted nogoods.
+
+    ``hard_threshold`` decides which nogoods render environments outright
+    inconsistent (removed from ATMS labels): the classic ATMS uses 1.0 so
+    only frank conflicts kill environments, which is exactly the FLAMES
+    behaviour — partial conflicts rank candidates without pruning.
+    """
+
+    def __init__(self, hard_threshold: float = 1.0) -> None:
+        if not 0.0 < hard_threshold <= 1.0:
+            raise ValueError("hard threshold must be in (0, 1]")
+        self.hard_threshold = hard_threshold
+        self._store: Dict[Environment, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __iter__(self):
+        return iter(self.minimal())
+
+    def add(self, environment: Environment, degree: float = 1.0) -> bool:
+        """Record a nogood; returns True when the database changed.
+
+        Degenerate empty-environment nogoods are legal (the premises are
+        contradictory) and subsume everything at their degree.
+        """
+        if not 0.0 < degree <= 1.0:
+            raise ValueError(f"nogood degree {degree} outside (0, 1]")
+        for env, d in self._store.items():
+            if env.is_subset(environment) and d >= degree:
+                return False
+        # Remove newly subsumed entries (supersets at lower-or-equal degree).
+        doomed = [
+            env
+            for env, d in self._store.items()
+            if environment.is_subset(env) and d <= degree and env != environment
+        ]
+        for env in doomed:
+            del self._store[env]
+        changed = self._store.get(environment) != degree
+        self._store[environment] = degree
+        return changed or bool(doomed)
+
+    def is_inconsistent(self, environment: Environment) -> bool:
+        """True when a hard nogood is a subset of ``environment``."""
+        return any(
+            d >= self.hard_threshold and env.is_subset(environment)
+            for env, d in self._store.items()
+        )
+
+    def conflict_degree(self, environment: Environment) -> float:
+        """Strongest degree at which ``environment`` is known to conflict."""
+        return max(
+            (d for env, d in self._store.items() if env.is_subset(environment)),
+            default=0.0,
+        )
+
+    def minimal(self, threshold: float = 0.0) -> List[WeightedNogood]:
+        """All stored nogoods at degree >= ``threshold``, most serious first."""
+        found = [
+            WeightedNogood(env, d)
+            for env, d in self._store.items()
+            if d >= threshold and d > 0.0
+        ]
+        found.sort(key=lambda n: (-n.degree, n.environment.size, repr(n.environment)))
+        return found
+
+    def hard(self) -> List[WeightedNogood]:
+        """The nogoods at or above the hard threshold."""
+        return self.minimal(self.hard_threshold)
+
+    def merge(self, others: Iterable[WeightedNogood]) -> None:
+        for nogood in others:
+            self.add(nogood.environment, nogood.degree)
+
+    def clear(self) -> None:
+        self._store.clear()

@@ -1,0 +1,33 @@
+"""Baselines the paper compares against.
+
+* :mod:`repro.baselines.crisp_interval` — plain crisp interval
+  arithmetic, the representation DIANA propagates (paper §4.2 argues it
+  masks slight faults; figure 2 is the demonstration).
+* :mod:`repro.baselines.crisp_propagation` — a DIANA-style diagnoser:
+  the same conflict-recognition engine run over crisp intervals, where a
+  conflict exists only when intervals are disjoint (no degrees, no
+  partial conflicts, unweighted candidates).
+* :mod:`repro.baselines.probabilistic` — GDE/FIS-style probabilistic
+  next-test selection with crisp priors and Shannon entropy, plus a
+  random prober, for the strategy benchmarks.
+"""
+
+from repro.baselines.crisp_interval import Interval
+from repro.baselines.crisp_propagation import CrispDiagnoser, crispify
+from repro.baselines.fault_dictionary import FaultDictionary, DictionaryMatch
+from repro.baselines.probabilistic import (
+    GdeTestPlanner,
+    RandomProbePlanner,
+    shannon_entropy,
+)
+
+__all__ = [
+    "Interval",
+    "CrispDiagnoser",
+    "crispify",
+    "FaultDictionary",
+    "DictionaryMatch",
+    "GdeTestPlanner",
+    "RandomProbePlanner",
+    "shannon_entropy",
+]

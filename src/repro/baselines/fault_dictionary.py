@@ -1,0 +1,138 @@
+"""The classic fault-dictionary baseline (paper §7's foil).
+
+"As regards to fault modes, our intention is not to define a fault
+dictionary" — because dictionaries only recognise the faults someone
+simulated in advance.  This module implements that pre-FLAMES approach
+faithfully so the comparison can be measured: every (component, mode)
+hypothesis is simulated once, its probe signature stored, and diagnosis
+is nearest-signature lookup.  Its characteristic failure — an *unlisted*
+fault (a drift magnitude nobody tabulated, a double fault) matches the
+wrong entry with full confidence — is what the model-based engine's
+graceful degradation is measured against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.faults import Fault, apply_fault
+from repro.circuit.netlist import Circuit
+from repro.circuit.simulate import DCSolver, OperatingPoint, SimulationError
+
+__all__ = ["DictionaryEntry", "DictionaryMatch", "FaultDictionary", "dictionary_faults"]
+
+
+def dictionary_faults(circuit: Circuit) -> List[Tuple[str, str, Fault]]:
+    """The tabulated hypotheses: every component's common fault modes.
+
+    One representative defect per (component, mode) — what a dictionary
+    builder of the era would simulate.  Reuses the knowledge base's mode
+    catalogue so both approaches start from the same fault universe.
+    """
+    from repro.core.knowledge import common_fault_modes
+
+    catalogue = common_fault_modes()
+    tabulated: List[Tuple[str, str, Fault]] = []
+    for comp in circuit.components:
+        for mode in catalogue.get(comp.kind, []):
+            representatives = mode.faults(comp)
+            if representatives:
+                tabulated.append((comp.name, mode.name, representatives[0]))
+    return tabulated
+
+
+@dataclass(frozen=True)
+class DictionaryEntry:
+    """One tabulated fault: its label and probe signature."""
+
+    component: str
+    mode: str
+    signature: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class DictionaryMatch:
+    """Nearest-entry lookup result."""
+
+    component: str
+    mode: str
+    distance: float
+
+    @property
+    def is_healthy(self) -> bool:
+        return self.component == ""
+
+
+class FaultDictionary:
+    """Signature table built by exhaustive fault simulation.
+
+    Args:
+        circuit: the golden design.
+        probes: nets whose voltages form the signature.
+        faults: (component, mode, Fault) triples to tabulate; defaults to
+            the common catalogue over every component.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        probes: Sequence[str],
+        faults: Optional[Sequence[Tuple[str, str, Fault]]] = None,
+    ) -> None:
+        self.circuit = circuit
+        self.probes = list(probes)
+        self.entries: List[DictionaryEntry] = []
+        self._build(faults if faults is not None else dictionary_faults(circuit))
+
+    def _signature(self, op: OperatingPoint) -> Tuple[float, ...]:
+        return tuple(op.voltage(net) for net in self.probes)
+
+    def _build(self, faults: Sequence[Tuple[str, str, Fault]]) -> None:
+        golden_op = DCSolver(self.circuit).solve()
+        self.healthy_signature = self._signature(golden_op)
+        for component, mode, fault in faults:
+            try:
+                op = DCSolver(apply_fault(self.circuit, fault)).solve()
+            except (SimulationError, ValueError):
+                continue
+            self.entries.append(
+                DictionaryEntry(component, mode, self._signature(op))
+            )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self, readings: Sequence[float], healthy_margin: float = 0.05
+    ) -> DictionaryMatch:
+        """Nearest tabulated signature to the measured one.
+
+        ``healthy_margin`` (volts, RMS) decides when the unit is declared
+        healthy instead.  This is the whole diagnostic procedure — no
+        reasoning, no degrees, no explanation.
+        """
+        if len(readings) != len(self.probes):
+            raise ValueError(
+                f"expected {len(self.probes)} readings, got {len(readings)}"
+            )
+        healthy_distance = _rms(readings, self.healthy_signature)
+        if healthy_distance <= healthy_margin:
+            return DictionaryMatch("", "", healthy_distance)
+        best: Optional[DictionaryMatch] = None
+        for entry in self.entries:
+            distance = _rms(readings, entry.signature)
+            if best is None or distance < best.distance:
+                best = DictionaryMatch(entry.component, entry.mode, distance)
+        if best is None or healthy_distance < best.distance:
+            return DictionaryMatch("", "", healthy_distance)
+        return best
+
+    def lookup_op(self, op: OperatingPoint, healthy_margin: float = 0.05) -> DictionaryMatch:
+        return self.lookup(self._signature(op), healthy_margin)
+
+
+def _rms(a: Sequence[float], b: Sequence[float]) -> float:
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)) / max(len(a), 1))

@@ -1,0 +1,242 @@
+"""Component models.
+
+Each component carries the parameters used by *both* code paths:
+
+* the DC simulator reads the crisp parameter values (possibly altered by
+  an injected fault) to compute ground-truth behaviour;
+* the diagnoser reads ``fuzzy_params()`` — nominal values softened by
+  the datasheet tolerance — to build the model constraints, exactly the
+  paper's "model parameters with tolerances" requirement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.circuit.netlist import Component
+from repro.fuzzy import FuzzyInterval
+
+__all__ = [
+    "Resistor",
+    "Capacitor",
+    "Diode",
+    "BJT",
+    "Amplifier",
+    "VoltageSource",
+    "CurrentSource",
+]
+
+
+class Resistor(Component):
+    """Ohmic resistor: ``V = I * R``."""
+
+    PINS = ("a", "b")
+
+    def __init__(self, name: str, resistance: float, tolerance: float = 0.05, **conn: str):
+        if resistance <= 0:
+            raise ValueError(f"{name}: resistance must be positive")
+        super().__init__(name, tolerance, **conn)
+        self.resistance = resistance
+
+    def fuzzy_params(self) -> Dict[str, FuzzyInterval]:
+        return {"resistance": FuzzyInterval.around(self.resistance, self.tolerance)}
+
+    def clone(self) -> "Resistor":
+        return Resistor(
+            self.name,
+            self.resistance,
+            self.tolerance,
+            **{p: n.name for p, n in self.pins.items()},
+        )
+
+
+class Capacitor(Component):
+    """Capacitor — an open circuit at the DC operating point.
+
+    Kept in the netlist so dynamic-mode circuits from the paper's
+    workloads can be described; the DC solver stamps nothing for it and
+    the diagnoser emits no DC constraint (its correctness is untestable
+    from DC measurements, which the engine reports honestly).
+    """
+
+    PINS = ("a", "b")
+
+    def __init__(self, name: str, capacitance: float, tolerance: float = 0.1, **conn: str):
+        if capacitance <= 0:
+            raise ValueError(f"{name}: capacitance must be positive")
+        super().__init__(name, tolerance, **conn)
+        self.capacitance = capacitance
+
+    def fuzzy_params(self) -> Dict[str, FuzzyInterval]:
+        return {"capacitance": FuzzyInterval.around(self.capacitance, self.tolerance)}
+
+    def clone(self) -> "Capacitor":
+        return Capacitor(
+            self.name,
+            self.capacitance,
+            self.tolerance,
+            **{p: n.name for p, n in self.pins.items()},
+        )
+
+
+class Diode(Component):
+    """Piecewise diode: OFF below ``v_on``, a ``v_on`` drop when conducting.
+
+    ``leak_bound`` is the fuzzy bound on sub-threshold current used by
+    the diagnosis model — the paper's ``Id <= 100 uA`` example encoded as
+    ``[-1, 100, 0, 10]`` (in amperes here).
+    """
+
+    PINS = ("anode", "cathode")
+
+    def __init__(
+        self,
+        name: str,
+        v_on: float = 0.7,
+        leak_bound: float = 100e-6,
+        leak_soft: float = 10e-6,
+        tolerance: float = 0.05,
+        **conn: str,
+    ):
+        super().__init__(name, tolerance, **conn)
+        self.v_on = v_on
+        self.leak_bound = leak_bound
+        self.leak_soft = leak_soft
+
+    def fuzzy_params(self) -> Dict[str, FuzzyInterval]:
+        return {
+            "v_on": FuzzyInterval.around(self.v_on, self.tolerance),
+            "leak": FuzzyInterval(
+                -1e-6, self.leak_bound, 0.0, self.leak_soft
+            ),
+        }
+
+    def clone(self) -> "Diode":
+        return Diode(
+            self.name,
+            self.v_on,
+            self.leak_bound,
+            self.leak_soft,
+            self.tolerance,
+            **{p: n.name for p, n in self.pins.items()},
+        )
+
+
+class BJT(Component):
+    """NPN transistor in the paper's linear-region model.
+
+    ``Vbe = vbe_on`` when conducting, ``Ic = beta * Ib``; the simulator
+    additionally handles cutoff (``Vbe < vbe_on`` and no current) and
+    saturation (``Vce = vce_sat``, ``Ic < beta * Ib``).  The circuits in
+    the paper are biased so every transistor stays in the linear region.
+    """
+
+    PINS = ("c", "b", "e")
+
+    def __init__(
+        self,
+        name: str,
+        beta: float,
+        vbe_on: float = 0.7,
+        vce_sat: float = 0.2,
+        tolerance: float = 0.05,
+        beta_tolerance: float = 0.1,
+        **conn: str,
+    ):
+        if beta <= 0:
+            raise ValueError(f"{name}: beta must be positive")
+        super().__init__(name, tolerance, **conn)
+        self.beta = beta
+        self.vbe_on = vbe_on
+        self.vce_sat = vce_sat
+        self.beta_tolerance = beta_tolerance
+
+    def fuzzy_params(self) -> Dict[str, FuzzyInterval]:
+        return {
+            "beta": FuzzyInterval.around(self.beta, self.beta_tolerance),
+            "vbe_on": FuzzyInterval.around(self.vbe_on, self.tolerance),
+        }
+
+    def clone(self) -> "BJT":
+        return BJT(
+            self.name,
+            self.beta,
+            self.vbe_on,
+            self.vce_sat,
+            self.tolerance,
+            self.beta_tolerance,
+            **{p: n.name for p, n in self.pins.items()},
+        )
+
+
+class Amplifier(Component):
+    """Ideal unidirectional gain block: ``V(out) = gain * V(in)``.
+
+    Infinite input impedance, ideal voltage output — the figure-2
+    cascade's elements.  ``tolerance`` is an *absolute* spread on the
+    gain (the paper writes ``amp1[1,1,0.05,0.05]`` ... ``amp3[3,3,0.05,
+    0.05]`` — the same 0.05 at every gain).
+    """
+
+    PINS = ("inp", "out")
+
+    def __init__(self, name: str, gain: float, tolerance: float = 0.05, **conn: str):
+        super().__init__(name, tolerance, **conn)
+        self.gain = gain
+
+    def fuzzy_params(self) -> Dict[str, FuzzyInterval]:
+        return {"gain": FuzzyInterval.number(self.gain, self.tolerance)}
+
+    def clone(self) -> "Amplifier":
+        return Amplifier(
+            self.name,
+            self.gain,
+            self.tolerance,
+            **{p: n.name for p, n in self.pins.items()},
+        )
+
+
+class VoltageSource(Component):
+    """Ideal DC voltage source: ``V(p) - V(n) = voltage``."""
+
+    PINS = ("p", "n")
+
+    def __init__(self, name: str, voltage: float, tolerance: float = 0.0, **conn: str):
+        super().__init__(name, tolerance, **conn)
+        self.voltage = voltage
+
+    def fuzzy_params(self) -> Dict[str, FuzzyInterval]:
+        if self.tolerance:
+            return {"voltage": FuzzyInterval.around(self.voltage, self.tolerance)}
+        return {"voltage": FuzzyInterval.crisp(self.voltage)}
+
+    def clone(self) -> "VoltageSource":
+        return VoltageSource(
+            self.name,
+            self.voltage,
+            self.tolerance,
+            **{p: n.name for p, n in self.pins.items()},
+        )
+
+
+class CurrentSource(Component):
+    """Ideal DC current source pushing ``current`` from ``n`` to ``p`` inside."""
+
+    PINS = ("p", "n")
+
+    def __init__(self, name: str, current: float, tolerance: float = 0.0, **conn: str):
+        super().__init__(name, tolerance, **conn)
+        self.current = current
+
+    def fuzzy_params(self) -> Dict[str, FuzzyInterval]:
+        if self.tolerance:
+            return {"current": FuzzyInterval.around(self.current, self.tolerance)}
+        return {"current": FuzzyInterval.crisp(self.current)}
+
+    def clone(self) -> "CurrentSource":
+        return CurrentSource(
+            self.name,
+            self.current,
+            self.tolerance,
+            **{p: n.name for p, n in self.pins.items()},
+        )

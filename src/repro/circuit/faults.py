@@ -1,0 +1,142 @@
+"""Fault injection.
+
+The paper exercises both *hard* faults (opens and shorts) and *soft*
+faults (parametric drifts, e.g. "R2 is slightly high: 12.18k",
+"Beta2 is slightly low: 194").  A :class:`Fault` describes the defect;
+:func:`apply_fault` returns a faulty **clone** of the circuit so the
+golden netlist stays untouched.
+
+Opens and shorts are modelled with extreme but finite resistances so the
+MNA system stays regular; a *node open* rewires one pin onto a fresh
+floating net (the "Open circuit in N1" defect of figure 7).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.circuit.components import (
+    Amplifier,
+    BJT,
+    Capacitor,
+    Diode,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit, Component
+
+__all__ = ["FaultKind", "Fault", "apply_fault", "OPEN_RESISTANCE", "SHORT_RESISTANCE"]
+
+#: Resistance used to emulate an open circuit (finite for MNA regularity).
+OPEN_RESISTANCE = 1e12
+#: Resistance used to emulate a short circuit.
+SHORT_RESISTANCE = 1e-3
+
+
+class FaultKind(enum.Enum):
+    """The defect taxonomy used by the experiments."""
+
+    OPEN = "open"  # component becomes (nearly) an open circuit
+    SHORT = "short"  # component becomes (nearly) a wire
+    PARAM = "param"  # a parameter drifts to `value`
+    NODE_OPEN = "node_open"  # one pin disconnects from its net
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single defect.
+
+    Attributes:
+        kind: the defect class.
+        component: name of the affected component (for NODE_OPEN, the
+            component whose pin detaches).
+        parameter: for PARAM faults, which parameter drifts (defaults to
+            the component's main parameter).
+        value: for PARAM faults, the new crisp value.
+        pin: for NODE_OPEN faults, which pin detaches.
+    """
+
+    kind: FaultKind
+    component: str
+    parameter: str = ""
+    value: float = 0.0
+    pin: str = ""
+
+    def describe(self) -> str:
+        if self.kind is FaultKind.PARAM:
+            return f"{self.component}.{self.parameter or 'value'} -> {self.value:g}"
+        if self.kind is FaultKind.NODE_OPEN:
+            return f"open at {self.component}.{self.pin}"
+        return f"{self.kind.value} {self.component}"
+
+
+def apply_fault(circuit: Circuit, fault: Fault) -> Circuit:
+    """A faulty clone of ``circuit``; the original is untouched."""
+    faulty = circuit.clone()
+    comp = faulty.component(fault.component)
+    if fault.kind is FaultKind.OPEN:
+        _set_extreme(comp, OPEN_RESISTANCE, open_fault=True)
+    elif fault.kind is FaultKind.SHORT:
+        _set_extreme(comp, SHORT_RESISTANCE, open_fault=False)
+    elif fault.kind is FaultKind.PARAM:
+        _drift(comp, fault.parameter, fault.value)
+    elif fault.kind is FaultKind.NODE_OPEN:
+        if fault.pin not in comp.PINS:
+            raise ValueError(f"{comp.name} has no pin {fault.pin!r}")
+        comp.rewire(fault.pin, f"__float_{comp.name}_{fault.pin}")
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown fault kind {fault.kind}")
+    faulty.name = f"{circuit.name}+{fault.describe()}"
+    return faulty
+
+
+def _set_extreme(comp: Component, resistance: float, open_fault: bool) -> None:
+    if isinstance(comp, Resistor):
+        comp.resistance = resistance
+    elif isinstance(comp, Diode):
+        if open_fault:
+            # Never conducts: raise the threshold beyond reach.
+            comp.v_on = 1e6
+        else:
+            # Shorted junction: zero drop, conducts both ways. A tiny
+            # threshold keeps the piecewise model well-defined.
+            comp.v_on = 0.0
+    elif isinstance(comp, BJT):
+        if open_fault:
+            comp.vbe_on = 1e6  # junction never conducts -> permanently cut off
+        else:
+            comp.vce_sat = 0.0
+            comp.vbe_on = 0.0
+    elif isinstance(comp, Capacitor):
+        if not open_fault:
+            raise ValueError("a capacitor short needs a PARAM fault on a model "
+                             "that conducts at DC; use NODE_OPEN or resistor faults")
+        # open capacitor: already open at DC; nothing to change.
+    elif isinstance(comp, Amplifier):
+        comp.gain = 0.0 if open_fault else 1.0
+    elif isinstance(comp, VoltageSource):
+        if open_fault:
+            raise ValueError("an open voltage source makes the circuit unsolvable; "
+                             "use NODE_OPEN on a neighbouring component instead")
+        comp.voltage = 0.0
+    else:
+        raise ValueError(f"cannot apply open/short to {comp.kind}")
+
+
+def _drift(comp: Component, parameter: str, value: float) -> None:
+    name = parameter
+    if not name:
+        defaults = {
+            Resistor: "resistance",
+            Capacitor: "capacitance",
+            BJT: "beta",
+            Amplifier: "gain",
+            VoltageSource: "voltage",
+            Diode: "v_on",
+        }
+        name = defaults.get(type(comp), "")
+    if not name or not hasattr(comp, name):
+        raise ValueError(f"{comp.name} ({comp.kind}) has no parameter {parameter!r}")
+    setattr(comp, name, value)

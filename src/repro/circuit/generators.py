@@ -1,0 +1,97 @@
+"""Parametric circuit families for the scaling and strategy studies.
+
+The paper claims fuzzy intervals "avoid possible explosions either in
+treating tolerances or in sets of candidates"; these generators produce
+circuits of controlled size so the benchmarks can sweep circuit size and
+measure value spread, nogood counts and candidate counts for the crisp
+and fuzzy engines.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.circuit.components import Amplifier, Resistor, VoltageSource
+from repro.circuit.netlist import Circuit, GROUND
+
+__all__ = ["resistor_ladder", "amplifier_chain", "divider_tree"]
+
+
+def resistor_ladder(
+    sections: int,
+    supply: float = 10.0,
+    tolerance: float = 0.05,
+    rng: Optional[random.Random] = None,
+) -> Circuit:
+    """An R-2R-style ladder with ``sections`` series/shunt pairs.
+
+    Nets are ``n1 .. n<sections>``; probe any of them.  Resistances are
+    drawn from a decade around 10 kOhm when ``rng`` is given, otherwise
+    fixed at 10k/20k so results are deterministic.
+    """
+    if sections < 1:
+        raise ValueError("need at least one ladder section")
+    ckt = Circuit(f"ladder-{sections}")
+    ckt.add(VoltageSource("Vin", supply, p="in", n=GROUND))
+    prev = "in"
+    for i in range(1, sections + 1):
+        node = f"n{i}"
+        series = 10e3 if rng is None else rng.uniform(5e3, 50e3)
+        shunt = 20e3 if rng is None else rng.uniform(5e3, 50e3)
+        ckt.add(Resistor(f"Rs{i}", series, tolerance, a=prev, b=node))
+        ckt.add(Resistor(f"Rp{i}", shunt, tolerance, a=node, b=GROUND))
+        prev = node
+    return ckt
+
+
+def amplifier_chain(
+    stages: int,
+    input_voltage: float = 1.0,
+    tolerance: float = 0.05,
+    rng: Optional[random.Random] = None,
+) -> Circuit:
+    """A single-path chain of gain blocks (the paper's "single path" shape).
+
+    Gains default to an alternating 2.0 / 0.5 pattern to keep voltages
+    bounded; with ``rng`` they are drawn in [0.5, 2.0].
+    """
+    if stages < 1:
+        raise ValueError("need at least one stage")
+    ckt = Circuit(f"amp-chain-{stages}")
+    ckt.add(VoltageSource("Vin", input_voltage, p="s0", n=GROUND))
+    for i in range(1, stages + 1):
+        gain = (2.0 if i % 2 else 0.5) if rng is None else rng.uniform(0.5, 2.0)
+        ckt.add(Amplifier(f"amp{i}", gain, tolerance, inp=f"s{i-1}", out=f"s{i}"))
+    return ckt
+
+
+def divider_tree(
+    depth: int,
+    supply: float = 12.0,
+    tolerance: float = 0.05,
+) -> Circuit:
+    """A binary tree of voltage dividers (multiple interacting paths).
+
+    Each level halves the parent voltage through a 10k/10k divider; the
+    tree has ``2**depth - 1`` internal nodes, exercising candidate
+    generation with overlapping support sets.
+    """
+    if depth < 1:
+        raise ValueError("depth must be positive")
+    ckt = Circuit(f"divider-tree-{depth}")
+    ckt.add(VoltageSource("Vin", supply, p="t", n=GROUND))
+    counter = [0]
+
+    def grow(parent: str, level: int) -> None:
+        if level >= depth:
+            return
+        for side in ("l", "r"):
+            counter[0] += 1
+            node = f"{parent}{side}"
+            ckt.add(Resistor(f"Ra{counter[0]}", 10e3, tolerance, a=parent, b=node))
+            ckt.add(Resistor(f"Rb{counter[0]}", 10e3, tolerance, a=node, b=GROUND))
+            grow(node, level + 1)
+
+    grow("t", 0)
+    return ckt

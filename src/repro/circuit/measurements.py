@@ -1,0 +1,54 @@
+"""Measurements: probing the (simulated) unit under test.
+
+A measurement is a fuzzy interval — the paper insists the imprecision of
+the measuring equipment be representable separately from component
+tolerances.  :func:`probe` reads a node voltage from an operating point
+and wraps it with the instrument's fuzziness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.circuit.simulate import OperatingPoint
+from repro.fuzzy import FuzzyInterval
+
+__all__ = ["Measurement", "probe", "probe_all"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """An observed quantity: a probe point name plus its fuzzy value."""
+
+    point: str
+    value: FuzzyInterval
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.point}={self.value!r}"
+
+
+def probe(
+    op: OperatingPoint,
+    net: str,
+    imprecision: float = 0.01,
+    relative: bool = False,
+) -> Measurement:
+    """Measure the voltage of ``net`` with the given instrument imprecision.
+
+    ``imprecision`` is the slope width added on both sides — absolute
+    volts by default, or relative to the reading when ``relative``.
+    """
+    reading = op.voltage(net)
+    spread = abs(reading) * imprecision if relative else imprecision
+    return Measurement(f"V({net})", FuzzyInterval.number(reading, spread))
+
+
+def probe_all(
+    op: OperatingPoint,
+    nets: Sequence[str],
+    imprecision: float = 0.01,
+    relative: bool = False,
+) -> List[Measurement]:
+    """Measure several nets with the same instrument."""
+    return [probe(op, n, imprecision, relative) for n in nets]

@@ -1,0 +1,153 @@
+"""Netlist representation: nets, components, circuits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["Net", "Component", "Circuit", "GROUND"]
+
+#: Conventional name of the reference net.
+GROUND = "0"
+
+
+@dataclass(frozen=True, order=True)
+class Net:
+    """A named electrical node."""
+
+    name: str
+
+    @property
+    def is_ground(self) -> bool:
+        return self.name == GROUND
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+class Component:
+    """Base class for circuit elements.
+
+    Subclasses declare ``PINS`` (ordered pin names) and carry their
+    electrical parameters plus a relative ``tolerance`` that the
+    diagnosis side turns into fuzzy parameter values.
+    """
+
+    PINS: Tuple[str, ...] = ()
+
+    def __init__(self, name: str, tolerance: float = 0.05, **connections: str) -> None:
+        if not name:
+            raise ValueError("component needs a name")
+        missing = [p for p in self.PINS if p not in connections]
+        if missing:
+            raise ValueError(f"{name}: unconnected pins {missing}")
+        extra = [p for p in connections if p not in self.PINS]
+        if extra:
+            raise ValueError(f"{name}: unknown pins {extra}")
+        if tolerance < 0:
+            raise ValueError(f"{name}: negative tolerance")
+        self.name = name
+        self.tolerance = tolerance
+        self.pins: Dict[str, Net] = {p: Net(n) for p, n in connections.items()}
+
+    def net(self, pin: str) -> Net:
+        return self.pins[pin]
+
+    def rewire(self, pin: str, net_name: str) -> None:
+        """Reconnect one pin (used by the node-open fault)."""
+        if pin not in self.PINS:
+            raise KeyError(f"{self.name} has no pin {pin!r}")
+        self.pins[pin] = Net(net_name)
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    def clone(self) -> "Component":
+        """Deep-enough copy for fault injection (parameters + wiring)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        wires = ",".join(f"{p}={n.name}" for p, n in self.pins.items())
+        return f"{self.kind}({self.name}: {wires})"
+
+
+@dataclass
+class Circuit:
+    """A named collection of components over shared nets."""
+
+    name: str
+    components: List[Component] = field(default_factory=list)
+    description: str = ""
+
+    def add(self, component: Component) -> Component:
+        if any(c.name == component.name for c in self.components):
+            raise ValueError(f"duplicate component name {component.name!r}")
+        self.components.append(component)
+        return component
+
+    def component(self, name: str) -> Component:
+        for c in self.components:
+            if c.name == name:
+                return c
+        raise KeyError(f"no component named {name!r} in {self.name}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(c.name == name for c in self.components)
+
+    @property
+    def nets(self) -> List[Net]:
+        seen = {}
+        for c in self.components:
+            for net in c.pins.values():
+                seen[net.name] = net
+        return sorted(seen.values())
+
+    @property
+    def non_ground_nets(self) -> List[Net]:
+        return [n for n in self.nets if not n.is_ground]
+
+    def components_on(self, net: Net) -> List[Tuple[Component, str]]:
+        """(component, pin) pairs touching ``net``."""
+        found = []
+        for c in self.components:
+            for pin, n in c.pins.items():
+                if n == net:
+                    found.append((c, pin))
+        return found
+
+    def validate(self, strict: bool = True) -> None:
+        """Structural sanity: a ground reference and no dangling nets.
+
+        ``strict=False`` skips the dangling-net check — fault injection
+        legitimately leaves nets hanging (a node-open detaches a pin) and
+        the simulator's gmin leak keeps such circuits solvable.
+        """
+        nets = self.nets
+        if not any(n.is_ground for n in nets):
+            raise ValueError(f"{self.name}: no ground net {GROUND!r}")
+        if not strict:
+            return
+        for net in nets:
+            if net.name.startswith("__float"):
+                continue  # intentionally floating (node-open fault injection)
+            touching = self.components_on(net)
+            if len(touching) < 2 and not net.is_ground:
+                # An ideal gain block's output may legitimately drive an
+                # otherwise unloaded probe net.
+                if any(pin == "out" for _, pin in touching):
+                    continue
+                raise ValueError(
+                    f"{self.name}: net {net.name!r} touches only "
+                    f"{[c.name for c, _ in touching]}"
+                )
+
+    def clone(self) -> "Circuit":
+        return Circuit(
+            name=self.name,
+            components=[c.clone() for c in self.components],
+            description=self.description,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Circuit({self.name}, {len(self.components)} components)"

@@ -1,0 +1,224 @@
+"""A SPICE-subset netlist reader/writer.
+
+Downstream users have circuits in netlist form, not Python; this module
+reads the familiar card format into :class:`~repro.circuit.netlist.
+Circuit` objects and writes them back out.  Supported cards (one per
+line, ``*`` comments, case-insensitive, blank lines ignored):
+
+===========  ==================================================  ==========================
+card         syntax                                              component
+===========  ==================================================  ==========================
+resistor     ``Rname n+ n- value [tol=0.05]``                    :class:`Resistor`
+capacitor    ``Cname n+ n- value [tol=0.1]``                     :class:`Capacitor`
+diode        ``Dname anode cathode [von=0.7]``                   :class:`Diode`
+BJT (npn)    ``Qname nc nb ne beta [vbe=0.7]`` (or ``Tname``)     :class:`BJT`
+V source     ``Vname n+ n- value [tol=0]``                       :class:`VoltageSource`
+I source     ``Iname n+ n- value [tol=0]``                       :class:`CurrentSource`
+gain block   ``Ename nin nout gain [tol=0.05]``                  :class:`Amplifier`
+title        first line starting with ``.title``                 circuit name
+===========  ==================================================  ==========================
+
+Values accept the usual engineering suffixes (``k``, ``meg``, ``m``,
+``u``, ``n``, ``p``, ``g``, ``t``); node ``0`` is ground.  This is a
+pragmatic subset — enough to describe every circuit in this repository
+— not a general SPICE front end.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from repro.circuit.components import (
+    Amplifier,
+    BJT,
+    Capacitor,
+    CurrentSource,
+    Diode,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit, Component
+
+__all__ = ["parse_netlist", "parse_value", "write_netlist", "NetlistError"]
+
+
+class NetlistError(ValueError):
+    """A netlist line could not be understood."""
+
+    def __init__(self, line_number: int, line: str, reason: str) -> None:
+        super().__init__(f"line {line_number}: {reason}: {line.strip()!r}")
+        self.line_number = line_number
+        self.line = line
+        self.reason = reason
+
+
+#: Engineering suffixes, longest first so ``meg`` wins over ``m``.
+_SUFFIXES: Tuple[Tuple[str, float], ...] = (
+    ("meg", 1e6),
+    ("t", 1e12),
+    ("g", 1e9),
+    ("k", 1e3),
+    ("m", 1e-3),
+    ("u", 1e-6),
+    ("n", 1e-9),
+    ("p", 1e-12),
+)
+
+_VALUE_RE = re.compile(r"^([-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?)([a-zA-Z]*)$")
+
+
+def parse_value(token: str) -> float:
+    """Parse ``4.7k``, ``100u``, ``2meg``, ``1e3`` ... into a float."""
+    match = _VALUE_RE.match(token.strip())
+    if not match:
+        raise ValueError(f"cannot parse value {token!r}")
+    number, suffix = float(match.group(1)), match.group(2).lower()
+    if not suffix:
+        return number
+    for name, scale in _SUFFIXES:
+        if suffix == name or suffix.startswith(name):
+            return number * scale
+    raise ValueError(f"unknown value suffix {suffix!r} in {token!r}")
+
+
+def _keywords(tokens: List[str]) -> Tuple[List[str], Dict[str, float]]:
+    """Split trailing ``key=value`` tokens off a card."""
+    positional: List[str] = []
+    keywords: Dict[str, float] = {}
+    for token in tokens:
+        if "=" in token:
+            key, _, raw = token.partition("=")
+            keywords[key.lower()] = parse_value(raw)
+        else:
+            positional.append(token)
+    return positional, keywords
+
+
+def parse_netlist(text: str, name: str = "netlist") -> Circuit:
+    """Parse a netlist into a circuit (see module docstring for cards)."""
+    circuit = Circuit(name)
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("*"):
+            continue
+        if line.lower().startswith(".title"):
+            circuit.name = line[len(".title"):].strip() or circuit.name
+            continue
+        if line.startswith("."):
+            continue  # other dot-cards are ignored, SPICE-style
+        tokens = line.split()
+        positional, keywords = _keywords(tokens)
+        card = positional[0]
+        kind = card[0].upper()
+        try:
+            component = _build(kind, card, positional[1:], keywords)
+        except (ValueError, IndexError) as exc:
+            raise NetlistError(line_number, raw, str(exc)) from exc
+        try:
+            circuit.add(component)
+        except ValueError as exc:
+            raise NetlistError(line_number, raw, str(exc)) from exc
+    return circuit
+
+
+def _build(
+    kind: str, name: str, args: List[str], kw: Dict[str, float]
+) -> Component:
+    if kind == "R":
+        _need(args, 3, "Rname n+ n- value")
+        return Resistor(
+            name, parse_value(args[2]), kw.get("tol", 0.05), a=args[0], b=args[1]
+        )
+    if kind == "C":
+        _need(args, 3, "Cname n+ n- value")
+        return Capacitor(
+            name, parse_value(args[2]), kw.get("tol", 0.1), a=args[0], b=args[1]
+        )
+    if kind == "D":
+        _need(args, 2, "Dname anode cathode")
+        return Diode(
+            name,
+            v_on=kw.get("von", 0.7),
+            tolerance=kw.get("tol", 0.05),
+            anode=args[0],
+            cathode=args[1],
+        )
+    if kind in ("Q", "T"):  # T: European schematic convention (the paper's own)
+        _need(args, 4, "Qname nc nb ne beta")
+        return BJT(
+            name,
+            beta=parse_value(args[3]),
+            vbe_on=kw.get("vbe", 0.7),
+            beta_tolerance=kw.get("btol", 0.1),
+            tolerance=kw.get("tol", 0.05),
+            c=args[0],
+            b=args[1],
+            e=args[2],
+        )
+    if kind == "V":
+        _need(args, 3, "Vname n+ n- value")
+        return VoltageSource(
+            name, parse_value(args[2]), kw.get("tol", 0.0), p=args[0], n=args[1]
+        )
+    if kind == "I":
+        _need(args, 3, "Iname n+ n- value")
+        return CurrentSource(
+            name, parse_value(args[2]), kw.get("tol", 0.0), p=args[0], n=args[1]
+        )
+    if kind == "E":
+        _need(args, 3, "Ename nin nout gain")
+        return Amplifier(
+            name, parse_value(args[2]), kw.get("tol", 0.05), inp=args[0], out=args[1]
+        )
+    raise ValueError(f"unknown card kind {kind!r}")
+
+
+def _need(args: List[str], count: int, usage: str) -> None:
+    if len(args) < count:
+        raise ValueError(f"expected {usage}")
+
+
+def write_netlist(circuit: Circuit) -> str:
+    """Serialise a circuit back to the card format (round-trippable)."""
+    lines = [f".title {circuit.name}"]
+    for comp in circuit.components:
+        if isinstance(comp, Resistor):
+            lines.append(
+                f"{comp.name} {comp.net('a')} {comp.net('b')} "
+                f"{comp.resistance:g} tol={comp.tolerance:g}"
+            )
+        elif isinstance(comp, Capacitor):
+            lines.append(
+                f"{comp.name} {comp.net('a')} {comp.net('b')} "
+                f"{comp.capacitance:g} tol={comp.tolerance:g}"
+            )
+        elif isinstance(comp, Diode):
+            lines.append(
+                f"{comp.name} {comp.net('anode')} {comp.net('cathode')} "
+                f"von={comp.v_on:g} tol={comp.tolerance:g}"
+            )
+        elif isinstance(comp, BJT):
+            lines.append(
+                f"{comp.name} {comp.net('c')} {comp.net('b')} {comp.net('e')} "
+                f"{comp.beta:g} vbe={comp.vbe_on:g} btol={comp.beta_tolerance:g} "
+                f"tol={comp.tolerance:g}"
+            )
+        elif isinstance(comp, VoltageSource):
+            lines.append(
+                f"{comp.name} {comp.net('p')} {comp.net('n')} "
+                f"{comp.voltage:g} tol={comp.tolerance:g}"
+            )
+        elif isinstance(comp, CurrentSource):
+            lines.append(
+                f"{comp.name} {comp.net('p')} {comp.net('n')} "
+                f"{comp.current:g} tol={comp.tolerance:g}"
+            )
+        elif isinstance(comp, Amplifier):
+            lines.append(
+                f"{comp.name} {comp.net('inp')} {comp.net('out')} "
+                f"{comp.gain:g} tol={comp.tolerance:g}"
+            )
+        else:
+            raise ValueError(f"cannot serialise component kind {comp.kind}")
+    return "\n".join(lines) + "\n"

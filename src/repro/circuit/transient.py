@@ -1,0 +1,198 @@
+"""Transient (dynamic-mode) simulation.
+
+The paper evaluates FLAMES "either in dynamic mode or in static one";
+dynamic mode is what makes reactive components diagnosable at all — an
+open capacitor is invisible at the DC operating point but wrecks the
+step response.  This module adds a backward-Euler transient solver on
+top of the MNA machinery: at each time step a capacitor becomes its
+companion model (a conductance ``C/dt`` in parallel with a history
+current source), sources may carry time-varying waveforms, and the
+nonlinear devices re-iterate their operating regions per step (warm
+started from the previous step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuit.components import Capacitor, VoltageSource
+from repro.circuit.netlist import Circuit, Net
+from repro.circuit.simulate import DCSolver, OperatingPoint, SimulationError
+
+__all__ = ["Waveform", "step_waveform", "TransientResult", "TransientSolver"]
+
+#: A time-varying source value.
+Waveform = Callable[[float], float]
+
+
+def step_waveform(low: float, high: float, at: float = 0.0) -> Waveform:
+    """A voltage step from ``low`` to ``high`` at time ``at``."""
+
+    def wave(t: float) -> float:
+        return high if t >= at else low
+
+    return wave
+
+
+@dataclass
+class TransientResult:
+    """Sampled waveforms: one operating point per time step."""
+
+    times: List[float]
+    points: List[OperatingPoint]
+
+    def voltage(self, net: str) -> List[float]:
+        return [p.voltage(net) for p in self.points]
+
+    def voltage_at(self, net: str, t: float) -> float:
+        """Voltage at the sample nearest to ``t``."""
+        return self.points[self.index_of(t)].voltage(net)
+
+    def index_of(self, t: float) -> int:
+        best = min(range(len(self.times)), key=lambda i: abs(self.times[i] - t))
+        return best
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+
+class TransientSolver:
+    """Backward-Euler transient analysis.
+
+    Args:
+        circuit: the circuit (capacitors allowed, obviously).
+        waveforms: optional map of voltage-source name -> waveform; a
+            source without a waveform keeps its constant value.
+        dt: time step.
+        initial: starting state — ``"dc"`` solves the t=0 operating
+            point first (waveforms evaluated at t=0), ``"zero"`` starts
+            all capacitor voltages at zero.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        waveforms: Optional[Dict[str, Waveform]] = None,
+        dt: float = 1e-4,
+        initial: str = "dc",
+    ) -> None:
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if initial not in ("dc", "zero"):
+            raise ValueError("initial must be 'dc' or 'zero'")
+        circuit.validate(strict=False)
+        self.circuit = circuit
+        self.waveforms = dict(waveforms or {})
+        for name in self.waveforms:
+            comp = circuit.component(name)
+            if not isinstance(comp, VoltageSource):
+                raise ValueError(f"waveform target {name!r} is not a voltage source")
+        self.dt = dt
+        self.initial = initial
+        self._capacitors = [c for c in circuit.components if isinstance(c, Capacitor)]
+
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> TransientResult:
+        """Simulate ``t in [0, duration]``; returns every sample."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        steps = max(int(round(duration / self.dt)), 1)
+        times: List[float] = []
+        points: List[OperatingPoint] = []
+
+        # Waveform application mutates the sources; restore afterwards so
+        # the caller's circuit is unchanged by a simulation run.
+        saved = {
+            name: self.circuit.component(name).voltage for name in self.waveforms
+        }
+        try:
+            cap_voltages = self._initial_cap_voltages()
+            for k in range(steps + 1):
+                t = k * self.dt
+                self._apply_waveforms(t)
+                op = _CompanionDCSolver(self.circuit, cap_voltages, self.dt).solve()
+                # Update capacitor history for the next step.
+                for cap in self._capacitors:
+                    cap_voltages[cap.name] = op.voltage(cap.net("a")) - op.voltage(
+                        cap.net("b")
+                    )
+                times.append(t)
+                points.append(op)
+        finally:
+            for name, voltage in saved.items():
+                self.circuit.component(name).voltage = voltage
+        return TransientResult(times, points)
+
+    # ------------------------------------------------------------------
+    def _initial_cap_voltages(self) -> Dict[str, float]:
+        if self.initial == "zero" or not self._capacitors:
+            return {c.name: 0.0 for c in self._capacitors}
+        # The pre-step steady state: waveforms evaluated just *before* the
+        # run starts, so a step at t=0 actually produces a transient.
+        self._apply_waveforms(-self.dt)
+        op = DCSolver(self.circuit).solve()  # capacitors open at DC
+        return {
+            c.name: op.voltage(c.net("a")) - op.voltage(c.net("b"))
+            for c in self._capacitors
+        }
+
+    def _apply_waveforms(self, t: float) -> None:
+        for name, wave in self.waveforms.items():
+            self.circuit.component(name).voltage = wave(t)
+
+
+class _CompanionDCSolver:
+    """One backward-Euler step: solve the companion circuit.
+
+    Each capacitor C between (a, b) with previous voltage ``v_prev``
+    becomes a resistor ``dt/C`` in parallel with a current source
+    injecting ``(C/dt) * v_prev`` into node a — the standard companion
+    model, after which the step is an ordinary DC solve.
+    """
+
+    def __init__(
+        self, circuit: Circuit, cap_voltages: Dict[str, float], dt: float
+    ) -> None:
+        self._original = circuit
+        self._cap_voltages = cap_voltages
+        self._dt = dt
+        self._companion = self._build_companion()
+
+    def _build_companion(self) -> Circuit:
+        from repro.circuit.components import CurrentSource, Resistor
+
+        companion = Circuit(f"{self._original.name}@companion")
+        for comp in self._original.components:
+            if not isinstance(comp, Capacitor):
+                companion.add(comp.clone())
+                continue
+            conductance = comp.capacitance / self._dt
+            v_prev = self._cap_voltages.get(comp.name, 0.0)
+            a, b = comp.net("a").name, comp.net("b").name
+            companion.add(
+                Resistor(f"__G_{comp.name}", 1.0 / conductance, 0.0, a=a, b=b)
+            )
+            companion.add(
+                CurrentSource(
+                    f"__J_{comp.name}", conductance * v_prev, p=a, n=b
+                )
+            )
+        return companion
+
+    def solve(self) -> OperatingPoint:
+        op = DCSolver(self._companion).solve()
+        # Report the true capacitor currents and hide the companion
+        # elements from the caller.
+        for comp in self._original.components:
+            if isinstance(comp, Capacitor):
+                v_now = op.voltage(comp.net("a")) - op.voltage(comp.net("b"))
+                v_prev = self._cap_voltages.get(comp.name, 0.0)
+                op.currents[comp.name] = (
+                    comp.capacitance * (v_now - v_prev) / self._dt
+                )
+                op.currents.pop(f"__G_{comp.name}", None)
+                op.currents.pop(f"__J_{comp.name}", None)
+        return op

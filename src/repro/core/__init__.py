@@ -1,0 +1,51 @@
+"""The FLAMES engine: the paper's primary contribution.
+
+* :mod:`repro.core.values`      — fuzzy values with assumption environments.
+* :mod:`repro.core.coincidence` — figure-4 coincidence classification.
+* :mod:`repro.core.conflicts`   — the conflict-recognition engine.
+* :mod:`repro.core.propagation` — fuzzy-interval constraint propagation with
+  assumption tracking (the kernel).
+* :mod:`repro.core.diagnosis`   — the ``Flames`` facade tying the fuzzy ATMS,
+  the model database and the propagation together.
+* :mod:`repro.core.knowledge`   — fuzzy qualitative rules and fault modes.
+* :mod:`repro.core.learning`    — symptom-failure rule induction.
+* :mod:`repro.core.strategy`    — fuzzy-entropy best-test selection.
+"""
+
+from repro.core.values import FuzzyValue
+from repro.core.coincidence import CoincidenceKind, classify, resolve
+from repro.core.conflicts import RecognizedConflict, recognize
+from repro.core.propagation import FuzzyPropagator, PropagationResult
+from repro.core.diagnosis import Flames, FlamesConfig, DiagnosisResult, Diagnosis
+from repro.core.knowledge import FaultMode, KnowledgeBase, QualitativeRule, common_fault_modes
+from repro.core.learning import Episode, ExperienceBase, SymptomSignature
+from repro.core.strategy import BestTestPlanner, TestRecommendation
+from repro.core.session import TroubleshootingSession
+from repro.core.dynamic import DynamicDiagnoser, DynamicDiagnosisResult
+
+__all__ = [
+    "FuzzyValue",
+    "CoincidenceKind",
+    "classify",
+    "resolve",
+    "RecognizedConflict",
+    "recognize",
+    "FuzzyPropagator",
+    "PropagationResult",
+    "Flames",
+    "FlamesConfig",
+    "DiagnosisResult",
+    "Diagnosis",
+    "FaultMode",
+    "KnowledgeBase",
+    "QualitativeRule",
+    "common_fault_modes",
+    "Episode",
+    "ExperienceBase",
+    "SymptomSignature",
+    "BestTestPlanner",
+    "TestRecommendation",
+    "TroubleshootingSession",
+    "DynamicDiagnoser",
+    "DynamicDiagnosisResult",
+]

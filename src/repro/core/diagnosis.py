@@ -1,0 +1,206 @@
+"""The FLAMES engine facade.
+
+``Flames`` ties the pieces together the way the paper's figure 3 draws
+them: the model database (a circuit's constraint network), the fuzzy
+ATMS kernel (weighted nogoods over component-correctness assumptions),
+and the conflict-recognition engine (fuzzy propagation + Dc).  One
+``diagnose`` call takes a set of measurements and returns the ranked
+weighted nogoods, the component suspicions and the minimal candidate
+sets, plus the per-probe consistency table that figure 7 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence
+
+from repro.atms import FuzzyATMS, WeightedNogood, minimal_diagnoses, suspicion_scores
+from repro.atms.candidates import Diagnosis
+from repro.atms.nodes import Node
+from repro.circuit.constraints import ConstraintNetwork
+from repro.circuit.measurements import Measurement
+from repro.circuit.netlist import Circuit
+from repro.core.conflicts import RecognizedConflict
+from repro.core.predict import Prediction, predict_nominal
+from repro.core.propagation import FuzzyPropagator, PropagationResult, PropagatorConfig
+from repro.fuzzy import Consistency, FuzzyInterval, consistency
+from repro.fuzzy.logic import TNorm, t_norm_min
+
+__all__ = ["Flames", "FlamesConfig", "DiagnosisResult", "Diagnosis"]
+
+
+@dataclass(frozen=True)
+class FlamesConfig:
+    """Engine configuration.
+
+    ``conflict_threshold`` filters out tolerance noise: coincidences whose
+    conflict degree falls below it are not recorded as nogoods.
+    ``max_candidate_size`` bounds the simultaneous-fault cardinality
+    considered by the hitting-set step (the paper entertains multiple
+    faults but notes the space "grows exponentially").
+    """
+
+    assumable_nodes: bool = False
+    conflict_threshold: float = 0.05
+    max_candidate_size: int = 3
+    t_norm: TNorm = t_norm_min
+    hard_threshold: float = 1.0
+    propagator: PropagatorConfig = PropagatorConfig()
+
+
+@dataclass
+class DiagnosisResult:
+    """Everything one diagnosis run produced."""
+
+    measurements: List[Measurement]
+    predictions: Dict[str, FuzzyInterval]
+    prediction_support: Dict[str, FrozenSet[str]]
+    consistencies: Dict[str, Consistency]
+    nogoods: List[WeightedNogood]
+    diagnoses: List[Diagnosis]
+    suspicions: Dict[str, float]
+    conflicts: List[RecognizedConflict] = field(default_factory=list)
+    propagation: Optional[PropagationResult] = None
+
+    @property
+    def is_consistent(self) -> bool:
+        """No conflict above the engine threshold: the unit looks healthy."""
+        return not self.nogoods
+
+    def initial_suspects(self, point: str) -> FrozenSet[str]:
+        """Components supporting the prediction at a probe point.
+
+        For a single-path circuit this is "all the modules" upstream of
+        the probe — the paper's starting candidate set.
+        """
+        return self.prediction_support.get(point, frozenset())
+
+    def ranked_components(self) -> List[tuple]:
+        """(component, suspicion) pairs, most suspect first."""
+        return sorted(self.suspicions.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def consistency_row(self, points: Sequence[str]) -> Dict[str, float]:
+        """Signed Dc per probe point — one row of the figure-7 table."""
+        return {
+            p: self.consistencies[p].signed for p in points if p in self.consistencies
+        }
+
+
+class Flames:
+    """A fuzzy-logic ATMS and model-based expert system for analog diagnosis."""
+
+    def __init__(self, circuit: Circuit, config: FlamesConfig = FlamesConfig()) -> None:
+        self.circuit = circuit
+        self.config = config
+        self.network = ConstraintNetwork(
+            circuit, config.assumable_nodes, nominal_modes=self._design_modes(circuit)
+        )
+        self._nominal: Optional[Dict[str, object]] = None
+
+    @staticmethod
+    def _design_modes(circuit: Circuit) -> Dict[str, str]:
+        """Designed operating region of each nonlinear device.
+
+        Obtained from a golden DC solve of the nominal circuit — the
+        model database records how the unit is *meant* to operate (the
+        paper: "the chosen values of the components ensure the linear
+        region of transistors").  Falls back to the conducting regions
+        when the nominal circuit cannot be solved.
+        """
+        from repro.circuit.simulate import DCSolver, SimulationError
+
+        try:
+            return DCSolver(circuit).solve().device_states
+        except (SimulationError, ValueError):
+            return {}
+
+    # ------------------------------------------------------------------
+    # Predictions (the model database's nominal values with tolerances)
+    # ------------------------------------------------------------------
+    def predictions(self) -> Dict[str, FuzzyInterval]:
+        """Nominal predicted value per variable (tolerances propagated)."""
+        self._ensure_nominal()
+        return {name: p.value for name, p in self._nominal.items()}
+
+    def prediction_support(self) -> Dict[str, FrozenSet[str]]:
+        """Components supporting each nominal prediction."""
+        self._ensure_nominal()
+        return {name: p.support for name, p in self._nominal.items()}
+
+    def _ensure_nominal(self) -> None:
+        if self._nominal is None:
+            self._nominal = predict_nominal(self.circuit)
+
+    # ------------------------------------------------------------------
+    # Diagnosis
+    # ------------------------------------------------------------------
+    def diagnose(self, measurements: Sequence[Measurement]) -> DiagnosisResult:
+        """Run the full conflict-recognition + candidate-generation cycle."""
+        atms = FuzzyATMS(
+            t_norm=self.config.t_norm, hard_threshold=self.config.hard_threshold
+        )
+        assumption_nodes: Dict[str, Node] = {}
+
+        def node_for(name: str) -> Node:
+            if name not in assumption_nodes:
+                assumption_nodes[name] = atms.create_assumption(f"ok({name})", name)
+            return assumption_nodes[name]
+
+        data_conflicts: List[RecognizedConflict] = []
+
+        def on_conflict(conflict: RecognizedConflict) -> None:
+            if conflict.degree < self.config.conflict_threshold:
+                return
+            if not conflict.environment:
+                data_conflicts.append(conflict)
+                return
+            atms.declare_soft_nogood(
+                f"{conflict.variable}",
+                [node_for(n) for n in sorted(conflict.environment)],
+                conflict.degree,
+            )
+
+        propagator = FuzzyPropagator(
+            self.network, on_conflict=on_conflict, config=self.config.propagator
+        )
+        # Database predictions first (so mode guards and coincidence checks
+        # see them), then the observations.
+        self._ensure_nominal()
+        for name, prediction in self._nominal.items():
+            if name in self.network.variables:
+                propagator.set_value(
+                    name, prediction.value, prediction.support, source="prediction"
+                )
+        for m in measurements:
+            if m.point not in self.network.variables:
+                raise KeyError(f"no variable {m.point!r} in the model")
+            propagator.set_value(m.point, m.value)
+        outcome = propagator.run()
+
+        predictions = self.predictions()
+        support = self.prediction_support()
+        consistencies = {
+            m.point: consistency(m.value, predictions[m.point])
+            for m in measurements
+            if m.point in predictions
+        }
+        nogoods = atms.weighted_nogoods(self.config.conflict_threshold)
+        diagnoses = minimal_diagnoses(
+            nogoods,
+            threshold=self.config.conflict_threshold,
+            max_size=self.config.max_candidate_size,
+        )
+        suspicions = {
+            a.datum: s for a, s in suspicion_scores(nogoods).items()
+        }
+        return DiagnosisResult(
+            measurements=list(measurements),
+            predictions=predictions,
+            prediction_support=support,
+            consistencies=consistencies,
+            nogoods=nogoods,
+            diagnoses=diagnoses,
+            suspicions=suspicions,
+            conflicts=propagator.conflicts + data_conflicts,
+            propagation=outcome,
+        )

@@ -1,0 +1,230 @@
+"""Nominal predictions from the model database (paper §6.2).
+
+FLAMES's database unit holds the circuit's correct model; the *predicted*
+value of every quantity is the designed operating point with component
+tolerances propagated into fuzzy spreads.  We compute it by solving the
+golden circuit's DC operating point and perturbing each toleranced
+parameter to both ends of its tolerance band (one-at-a-time sensitivity).
+The fuzzy prediction of a quantity is then
+
+    ``[nominal, nominal, sum_k drop_k, sum_k rise_k]``
+
+— first-order tolerance accumulation, the numeric counterpart of adding
+slope widths in the paper's fuzzy arithmetic — and its *support set* is
+the set of components whose perturbation moves the quantity measurably,
+which for a single-path circuit is exactly "all the modules upstream of
+the probe" (the paper's initial candidate set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.circuit.components import (
+    Amplifier,
+    BJT,
+    Capacitor,
+    CurrentSource,
+    Diode,
+    Resistor,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit, Component
+from repro.circuit.simulate import DCSolver, OperatingPoint, SimulationError
+from repro.fuzzy import FuzzyInterval
+
+__all__ = ["Prediction", "predict_nominal", "variable_values"]
+
+#: A parameter perturbation must move a quantity by more than this to put
+#: the component into the quantity's support set.
+SUPPORT_EPSILON_VOLTAGE = 1e-4
+SUPPORT_EPSILON_CURRENT = 1e-9
+
+
+def _support_epsilon(name: str, nominal_value: float) -> float:
+    absolute = (
+        SUPPORT_EPSILON_CURRENT if name.startswith("I(") else SUPPORT_EPSILON_VOLTAGE
+    )
+    return max(absolute, 1e-3 * abs(nominal_value))
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """A fuzzy nominal prediction plus the components it depends on."""
+
+    value: FuzzyInterval
+    support: FrozenSet[str]
+
+
+def variable_values(circuit: Circuit, op: OperatingPoint) -> Dict[str, float]:
+    """Map an operating point onto the constraint network's variable names.
+
+    Sign conventions match :mod:`repro.circuit.constraints`: two-terminal
+    currents flow first-pin -> second-pin through the device; BJT base and
+    collector currents flow into the device, the emitter current out.
+    """
+    values: Dict[str, float] = {}
+    for net, v in op.voltages.items():
+        values[f"V({net})"] = v
+    for comp in circuit.components:
+        if isinstance(comp, (Resistor, Diode, Amplifier, VoltageSource)):
+            values[f"I({comp.name})"] = op.currents[comp.name]
+        elif isinstance(comp, CurrentSource):
+            # The network's I() is the p->n branch current; the source
+            # pushes `current` n->p internally.
+            values[f"I({comp.name})"] = -op.currents[comp.name]
+        elif isinstance(comp, BJT):
+            values[f"I({comp.name}.b)"] = op.currents[f"{comp.name}.b"]
+            values[f"I({comp.name}.c)"] = op.currents[f"{comp.name}.c"]
+            values[f"I({comp.name}.e)"] = op.currents[f"{comp.name}.e"]
+        elif isinstance(comp, Capacitor):
+            continue
+    return values
+
+
+#: Relative probe used for support detection when a parameter carries no
+#: tolerance: a prediction still *depends* on a perfectly toleranced
+#: component, so structural sensitivity is probed at 1 %.
+_SUPPORT_PROBE = 0.01
+
+
+def _toleranced_parameters(comp: Component) -> List[Tuple[str, float, float]]:
+    """(parameter, tolerance-delta, probe-delta) triples for one component.
+
+    The solver is perturbed by the *probe* delta; the fuzzy spread is the
+    observed shift rescaled to the *tolerance* delta (zero when the
+    component is ideal), while support membership uses the probe shift —
+    dependence does not vanish just because the tolerance does.
+    """
+
+    def entry(parameter: str, relative_tolerance: float) -> Tuple[str, float, float]:
+        base = abs(getattr(comp, parameter))
+        return (
+            parameter,
+            base * relative_tolerance,
+            base * max(relative_tolerance, _SUPPORT_PROBE),
+        )
+
+    if isinstance(comp, Resistor):
+        return [entry("resistance", comp.tolerance)]
+    if isinstance(comp, BJT):
+        return [entry("beta", comp.beta_tolerance), entry("vbe_on", comp.tolerance)]
+    if isinstance(comp, Diode):
+        return [entry("v_on", comp.tolerance)]
+    if isinstance(comp, Amplifier):
+        # The gain tolerance is absolute (paper figure 2).
+        return [("gain", comp.tolerance, max(comp.tolerance, _SUPPORT_PROBE))]
+    if isinstance(comp, VoltageSource):
+        return [entry("voltage", comp.tolerance)]
+    if isinstance(comp, CurrentSource):
+        return [entry("current", comp.tolerance)]
+    return []
+
+
+def _fault_probes(comp: Component) -> List[Tuple[str, float]]:
+    """(parameter, absolute-value) fault-class probes for support detection.
+
+    Local (tolerance-sized) sensitivity understates dependence: a shorted
+    emitter resistor moves a follower's output enormously even though the
+    small-signal derivative is almost zero.  A prediction's support must
+    contain every component whose *failure* could move the quantity, so
+    each component is additionally probed at open/short-class extremes.
+    Supply sources are exempt (the bench verifies supplies before
+    diagnosis, as the paper's experiments implicitly do).
+    """
+    if isinstance(comp, Resistor):
+        return [
+            ("resistance", comp.resistance * 1e3),
+            ("resistance", comp.resistance * 1e-3),
+        ]
+    if isinstance(comp, BJT):
+        return [
+            ("vbe_on", 1e6),  # junction never conducts: open-class
+            ("beta", max(comp.beta * 0.05, 1.0)),
+            ("beta", comp.beta * 10.0),
+        ]
+    if isinstance(comp, Diode):
+        return [("v_on", 1e6), ("v_on", 0.0)]
+    if isinstance(comp, Amplifier):
+        return [("gain", 0.0), ("gain", comp.gain * 2.0 + 1.0)]
+    return []
+
+
+def predict_nominal(circuit: Circuit) -> Dict[str, Prediction]:
+    """Fuzzy nominal prediction (value + support) per network variable.
+
+    Raises :class:`~repro.circuit.simulate.SimulationError` when even the
+    golden circuit has no DC operating point.
+    """
+    nominal_op = DCSolver(circuit).solve()
+    nominal = variable_values(circuit, nominal_op)
+    drops: Dict[str, float] = {name: 0.0 for name in nominal}
+    rises: Dict[str, float] = {name: 0.0 for name in nominal}
+    supports: Dict[str, set] = {name: set() for name in nominal}
+
+    for comp in circuit.components:
+        comp_drop = {name: 0.0 for name in nominal}
+        comp_rise = {name: 0.0 for name in nominal}
+        comp_probe = {name: 0.0 for name in nominal}
+        for parameter, tol_delta, probe_delta in _toleranced_parameters(comp):
+            if probe_delta == 0.0:
+                continue
+            scale = tol_delta / probe_delta
+            base = getattr(comp, parameter)
+            for sign in (+1.0, -1.0):
+                setattr(comp, parameter, base + sign * probe_delta)
+                try:
+                    perturbed = variable_values(circuit, DCSolver(circuit).solve())
+                except SimulationError:
+                    continue
+                finally:
+                    setattr(comp, parameter, base)
+                for name, v_nom in nominal.items():
+                    shift = perturbed.get(name, v_nom) - v_nom
+                    comp_probe[name] = max(comp_probe[name], abs(shift))
+                    if shift < 0:
+                        comp_drop[name] = max(comp_drop[name], -shift * scale)
+                    else:
+                        comp_rise[name] = max(comp_rise[name], shift * scale)
+        for parameter, extreme in _fault_probes(comp):
+            base = getattr(comp, parameter)
+            setattr(comp, parameter, extreme)
+            try:
+                perturbed = variable_values(circuit, DCSolver(circuit).solve())
+            except SimulationError:
+                continue
+            finally:
+                setattr(comp, parameter, base)
+            for name, v_nom in nominal.items():
+                shift = abs(perturbed.get(name, v_nom) - v_nom)
+                comp_probe[name] = max(comp_probe[name], shift)
+        for name in nominal:
+            drops[name] += comp_drop[name]
+            rises[name] += comp_rise[name]
+            if comp_probe[name] > _support_epsilon(name, nominal[name]):
+                supports[name].add(comp.name)
+
+    predictions: Dict[str, Prediction] = {}
+    for name, v_nom in nominal.items():
+        floor = _noise_floor(name)
+        predictions[name] = Prediction(
+            FuzzyInterval(
+                v_nom, v_nom, max(drops[name], floor), max(rises[name], floor)
+            ),
+            frozenset(supports[name]),
+        )
+    return predictions
+
+
+#: Minimum prediction spread — the model's numerical noise floor.  The
+#: simulator's gmin leakage and float arithmetic perturb quantities at
+#: the nano scale; without a floor, two representations of the same
+#: (near-)zero current can read as disjoint and produce ghost conflicts
+#: of degree 1.
+PREDICTION_FLOOR_VOLTAGE = 1e-3
+PREDICTION_FLOOR_CURRENT = 1e-6
+
+
+def _noise_floor(name: str) -> float:
+    return PREDICTION_FLOOR_CURRENT if name.startswith("I(") else PREDICTION_FLOOR_VOLTAGE

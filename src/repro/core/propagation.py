@@ -1,0 +1,337 @@
+"""Fuzzy-interval constraint propagation with assumption tracking.
+
+This is FLAMES's kernel loop: quantities start from wide, physically
+justified seeds (the supply rails), and constraint projections narrow
+them; every derived value carries the union of the component assumptions
+it depends on.  When a projection *coincides* with an established value,
+the conflict-recognition engine classifies the coincidence (figure 4)
+and reports partial/total conflicts as weighted nogoods through the
+``on_conflict`` callback.
+
+Relaxation note: circuits with feedback (a bias divider loaded by a base
+current, a stage loaded by the next stage's input) are not solvable by
+one-shot local propagation; iterating the projections from wide seeds
+converges geometrically for the contraction-dominant networks that
+well-designed bias circuits form, which is why the engine loops to
+quiescence instead of doing a single pass.  A value only counts as new
+information when it narrows the quantity beyond a configurable slack, so
+the loop terminates.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
+
+from repro.circuit.constraints import Constraint, ConstraintNetwork, Variable
+from repro.core.conflicts import RecognizedConflict, recognize
+from repro.core.values import FuzzyValue
+from repro.fuzzy import FuzzyInterval
+
+__all__ = ["FuzzyPropagator", "PropagatorConfig", "PropagationResult"]
+
+#: Sources whose entries are evidence or database predictions, never
+#: merged or narrowed — they must stay pristine for conflict attribution.
+_IMMUTABLE_SOURCES = frozenset({"measurement", "premise", "prediction"})
+
+
+@dataclass(frozen=True)
+class PropagatorConfig:
+    """Tuning knobs for the propagation loop."""
+
+    #: Stored values per variable (measurements are always kept).
+    max_values_per_variable: int = 8
+    #: Values considered per input variable when projecting.
+    values_per_input: int = 3
+    #: Cross-product cap per (constraint, target) projection.
+    max_combinations: int = 12
+    #: Absolute slack under which a narrowing is not new information.
+    absolute_slack: float = 1e-6
+    #: Relative (to current width) slack for the same test.
+    relative_slack: float = 2e-2
+    #: Narrowing merges allowed per stored entry before it freezes.
+    narrowing_budget: int = 50
+    #: Hard cap on processed queue entries (termination backstop).
+    max_steps: int = 20000
+
+
+@dataclass
+class PropagationResult:
+    """Outcome of a propagation run."""
+
+    steps: int
+    conflicts: List[RecognizedConflict] = field(default_factory=list)
+    quiescent: bool = True
+
+
+class FuzzyPropagator:
+    """Work-list propagation over a circuit's constraint network."""
+
+    def __init__(
+        self,
+        network: ConstraintNetwork,
+        on_conflict: Optional[Callable[[RecognizedConflict], None]] = None,
+        config: PropagatorConfig = PropagatorConfig(),
+    ) -> None:
+        self.network = network
+        self.config = config
+        self.on_conflict = on_conflict
+        self._values: Dict[str, List[FuzzyValue]] = {}
+        self._watchers: Dict[str, List[Constraint]] = {}
+        for constraint in network.constraints:
+            for name in set(constraint.variable_names) | set(constraint.guard_variables):
+                self._watchers.setdefault(name, []).append(constraint)
+        self.reset()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Restore every variable to its physical seed."""
+        self._values = {}
+        self._conflicts: List[RecognizedConflict] = []
+        self._conflict_keys = set()
+        # Exact projections already processed, per variable: reprocessing
+        # an identical value can neither narrow entries (monotone) nor
+        # reveal new conflicts (deduplicated), so it is skipped outright.
+        self._seen: Dict[str, set] = {}
+        for name, var in self.network.variables.items():
+            if name == "V(0)":
+                # The ground reference is a premise: crisp and immutable.
+                value = FuzzyValue(FuzzyInterval.crisp(0.0), frozenset(), 1.0, "premise")
+            else:
+                value = FuzzyValue(var.seed, frozenset(), 1.0, "seed", from_seed=True)
+            self._values[name] = [value]
+
+    def set_value(
+        self,
+        name: str,
+        interval: FuzzyInterval,
+        environment: FrozenSet[str] = frozenset(),
+        degree: float = 1.0,
+        source: str = "measurement",
+    ) -> List[RecognizedConflict]:
+        """Assert a value (typically a measurement) for a variable.
+
+        Returns conflicts recognised immediately against existing values;
+        run :meth:`run` afterwards to propagate the consequences.
+        """
+        if name not in self._values:
+            raise KeyError(f"unknown variable {name!r}")
+        before = len(self._conflicts)
+        self._record(name, FuzzyValue(interval, environment, degree, source))
+        return self._conflicts[before:]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def values(self, name: str) -> List[FuzzyValue]:
+        return list(self._values[name])
+
+    def best(self, name: str) -> Optional[FuzzyValue]:
+        """The narrowest established value (measurements win ties)."""
+        stored = self._values.get(name)
+        if not stored:
+            return None
+        return min(
+            stored,
+            key=lambda v: (v.source not in _IMMUTABLE_SOURCES, v.width, len(v.environment)),
+        )
+
+    def best_interval(self, name: str) -> Optional[FuzzyInterval]:
+        value = self.best(name)
+        return value.interval if value else None
+
+    def estimates(self) -> Dict[str, Optional[FuzzyInterval]]:
+        return {name: self.best_interval(name) for name in self._values}
+
+    @property
+    def conflicts(self) -> List[RecognizedConflict]:
+        return list(self._conflicts)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, constraints: Optional[Sequence[Constraint]] = None) -> PropagationResult:
+        """Propagate to quiescence (or the step cap)."""
+        queue: List[Constraint] = list(constraints or self.network.constraints)
+        queued = {id(c) for c in queue}
+        steps = 0
+        start_conflicts = len(self._conflicts)
+        while queue:
+            if steps >= self.config.max_steps:
+                return PropagationResult(
+                    steps, self._conflicts[start_conflicts:], quiescent=False
+                )
+            constraint = queue.pop(0)
+            queued.discard(id(constraint))
+            steps += 1
+            changed_vars = self._apply(constraint)
+            for name in changed_vars:
+                for watcher in self._watchers.get(name, ()):
+                    if id(watcher) not in queued:
+                        queue.append(watcher)
+                        queued.add(id(watcher))
+        return PropagationResult(steps, self._conflicts[start_conflicts:], quiescent=True)
+
+    # ------------------------------------------------------------------
+    def _apply(self, constraint: Constraint) -> List[str]:
+        """Project a constraint onto each of its variables."""
+        activation_env: FrozenSet[str] = frozenset()
+        if constraint.guard is not None:
+            relevant = set(constraint.guard_variables) | set(constraint.variable_names)
+            estimates = {name: self.best(name) for name in relevant}
+            ok, activation_env = constraint.applicable_with_environment(estimates)
+            if not ok:
+                return []
+        changed: List[str] = []
+        env_base = frozenset(constraint.assumptions) | activation_env
+        for target in constraint.variables:
+            inputs = [v for v in constraint.variables if v.name != target.name]
+            pools = [self._select(v.name) for v in inputs]
+            if any(not p for p in pools):
+                continue
+            combos = itertools.islice(
+                itertools.product(*pools), self.config.max_combinations
+            )
+            for combo in combos:
+                try:
+                    projected = constraint.project(
+                        target, {v.name: val.interval for v, val in zip(inputs, combo)}
+                    )
+                except ZeroDivisionError:
+                    continue
+                if projected is None:
+                    continue
+                env = env_base.union(*(val.environment for val in combo)) if combo else env_base
+                degree = min((val.degree for val in combo), default=1.0)
+                tainted = any(val.from_seed for val in combo)
+                value = FuzzyValue(
+                    projected, env, degree, constraint.name, from_seed=tainted
+                )
+                if self._record(target.name, value):
+                    if target.name not in changed:
+                        changed.append(target.name)
+        return changed
+
+    def _select(self, name: str) -> List[FuzzyValue]:
+        """Input values for a projection: measurements first, then narrow."""
+        stored = sorted(
+            self._values[name],
+            key=lambda v: (v.source not in _IMMUTABLE_SOURCES, v.width, len(v.environment)),
+        )
+        return stored[: self.config.values_per_input]
+
+    # ------------------------------------------------------------------
+    def _record(self, name: str, new: FuzzyValue) -> bool:
+        """Store a value; report coincidence conflicts; return "changed".
+
+        Stored entries are *monotonically narrowed*: a new value merges by
+        intersection into the first entry whose environment is comparable
+        (subset or superset) to its own, and the merged entry's
+        environment is the union of the two — the set of assumptions the
+        accumulated narrowing depends on.  Measurements and premises are
+        immutable (they are evidence, not inferences).  This
+        intersection-only discipline is what keeps propagation sound in
+        circuits with feedback loops: every entry always contains the
+        true value whenever its supporting assumptions hold.
+        """
+        fingerprint = (new.interval.as_tuple(), new.environment, round(new.degree, 6))
+        seen = self._seen.setdefault(name, set())
+        if new.source not in _IMMUTABLE_SOURCES:
+            if fingerprint in seen:
+                return False
+            seen.add(fingerprint)
+        stored = self._values[name]
+        # Redundancy first: a value subsumed by an existing one cannot
+        # reveal a conflict stronger than the ones its subsumer already
+        # did, and skipping it avoids the (comparatively expensive)
+        # coincidence classification on the quiescent tail.  Evidence
+        # values are exempt — they must always be checked and stored.
+        slack = self.config.absolute_slack + self.config.relative_slack * new.width
+        if new.source not in _IMMUTABLE_SOURCES and any(
+            e.subsumes(new, slack) for e in stored
+        ):
+            return False
+        # Conflict recognition against every established value whose width
+        # reflects model implication (seed-descended values carry
+        # ignorance, not evidence).
+        for existing in stored:
+            if existing.from_seed or new.from_seed:
+                continue
+            if existing.is_seed or new.is_seed:
+                continue
+            conflict = recognize(name, new, existing)
+            if conflict is not None:
+                key = (
+                    name,
+                    conflict.environment,
+                    round(conflict.degree, 2),
+                    conflict.direction,
+                )
+                if key not in self._conflict_keys:
+                    self._conflict_keys.add(key)
+                    self._conflicts.append(conflict)
+                    if self.on_conflict is not None:
+                        self.on_conflict(conflict)
+        if new.source in _IMMUTABLE_SOURCES:
+            stored.append(new)
+            return True
+        # Merge into an entry with the *same* environment.  Equal-env
+        # merging is what lets loop relaxation converge; merging across
+        # different environments would grow the narrow value's env to the
+        # union and thereby destroy precisely-attributed evidence (a
+        # measured-backed {R2} value swallowed by an everything-env
+        # entry can no longer implicate R2 alone).
+        for i, existing in enumerate(stored):
+            if existing.source in _IMMUTABLE_SOURCES:
+                continue
+            if existing.environment != new.environment:
+                continue
+            if existing.revision >= self.config.narrowing_budget:
+                return False  # frozen: relaxation budget exhausted
+            hull = existing.interval.intersection_hull(new.interval)
+            if hull is None:
+                continue  # frank conflict (already logged); keep both views
+            merged = FuzzyValue(
+                hull,
+                new.environment,
+                min(existing.degree, new.degree),
+                new.source or existing.source,
+                existing.revision + 1,
+                # Intersection with an untainted value bounds the result by
+                # model implication, clearing the taint.
+                from_seed=existing.from_seed and new.from_seed,
+            )
+            if existing.subsumes(merged, slack):
+                return False
+            stored[i] = merged
+            return True
+        return self._append(name, new)
+
+    def _append(self, name: str, new: FuzzyValue) -> bool:
+        """Add a new entry, honouring the size cap.
+
+        When the variable is full, the new entry must beat the widest
+        evictable entry to get in; otherwise it is dropped *without*
+        counting as a change — evict-and-readd cycles would keep the
+        work list busy forever.
+        """
+        stored = self._values[name]
+        cap = self.config.max_values_per_variable
+        if len(stored) < cap or new.source in _IMMUTABLE_SOURCES:
+            stored.append(new)
+            return True
+        evictable = [
+            (i, v)
+            for i, v in enumerate(stored)
+            if v.source not in _IMMUTABLE_SOURCES
+        ]
+        if not evictable:
+            return False
+        worst_index, worst = max(evictable, key=lambda iv: (iv[1].width, len(iv[1].environment)))
+        if new.width < worst.width:
+            stored[worst_index] = new
+            return True
+        return False

@@ -1,0 +1,133 @@
+"""Fuzzy Shannon entropy and expected entropy (paper section 8.2).
+
+The best-test unit scores a candidate probe by the entropy of the fuzzy
+faultiness estimations it would leave behind:
+
+    ``Ent(S) = (+)_i  Fi (*) log2(1 / Fi)``
+
+where ``Fi`` is the fuzzy faultiness estimation of component ``i`` and
+the operations are the fuzzy ones.  The literal product form treats
+``Fi`` and ``log2(1/Fi)`` as independent, which inflates the spread of
+the result; the extension-principle form applies the scalar function
+``g(x) = -x log2 x`` directly to each ``Fi`` (its unique maximum at
+``x = 1/e`` handled exactly).  We default to the extension-principle
+form and keep the literal form available for the ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, Mapping, Sequence
+
+from repro.fuzzy.interval import FuzzyInterval
+
+__all__ = [
+    "entropy_term",
+    "entropy_term_product_form",
+    "fuzzy_entropy",
+    "expected_entropy",
+]
+
+#: Values of Fi are clamped into [_FLOOR, 1] before taking logarithms.
+_FLOOR = 1e-9
+
+#: Argmax of g(x) = -x log2 x on (0, 1].
+_G_PEAK = 1.0 / math.e
+
+
+def _g(x: float) -> float:
+    """The Shannon term ``-x log2 x`` extended continuously to x = 0."""
+    x = min(max(x, 0.0), 1.0)
+    if x <= _FLOOR:
+        return 0.0
+    return -x * math.log2(x)
+
+
+def _clamp_unit(value: FuzzyInterval) -> FuzzyInterval:
+    """Clamp a fuzzy estimation into the unit interval."""
+    s_lo, s_hi = value.support
+    c_lo, c_hi = value.core
+    clip = lambda x: min(max(x, 0.0), 1.0)
+    return FuzzyInterval.from_support_core(
+        (clip(s_lo), clip(s_hi)), (clip(c_lo), clip(c_hi))
+    )
+
+
+def entropy_term(fi: FuzzyInterval) -> FuzzyInterval:
+    """``g(Fi)`` via the extension principle (default, tight form)."""
+    return _clamped_unimodal(fi)
+
+
+def _clamped_unimodal(fi: FuzzyInterval) -> FuzzyInterval:
+    return _clamp_unit(fi).apply_unimodal(_g, _G_PEAK, maximum=True)
+
+
+def entropy_term_product_form(fi: FuzzyInterval) -> FuzzyInterval:
+    """``Fi (*) log2(1/Fi)`` computed as an independent fuzzy product.
+
+    The paper's literal formula; wider than :func:`entropy_term` because
+    it ignores the dependence between the two factors.  The result is
+    clamped below at zero (entropy contributions cannot be negative).
+    """
+    fi = _clamp_unit(fi)
+    floored = FuzzyInterval.from_support_core(
+        (max(fi.support[0], _FLOOR), max(fi.support[1], _FLOOR)),
+        (max(fi.m1, _FLOOR), max(fi.m2, _FLOOR)),
+    )
+    log_term = floored.apply_monotone(lambda x: math.log2(1.0 / x), increasing=False)
+    raw = floored * log_term
+    clip = lambda x: max(x, 0.0)
+    return FuzzyInterval.from_support_core(
+        (clip(raw.support[0]), clip(raw.support[1])),
+        (clip(raw.m1), clip(raw.m2)),
+    )
+
+
+def fuzzy_entropy(
+    estimations: Iterable[FuzzyInterval],
+    term: Callable[[FuzzyInterval], FuzzyInterval] = entropy_term,
+) -> FuzzyInterval:
+    """Entropy of a system of fuzzy faultiness estimations.
+
+    ``Ent(S) = sum_i g(Fi)`` with fuzzy addition (exact for trapezoids).
+    An empty system has zero entropy.
+    """
+    total = FuzzyInterval.crisp(0.0)
+    for fi in estimations:
+        total = total + term(fi)
+    return total
+
+
+def expected_entropy(
+    outcome_entropies: Sequence[FuzzyInterval],
+    outcome_weights: Sequence[FuzzyInterval | float] | None = None,
+) -> FuzzyInterval:
+    """Expected entropy of a test over its possible outcomes.
+
+    Each outcome ``k`` of the candidate measurement leaves the system in a
+    state with entropy ``outcome_entropies[k]``; ``outcome_weights[k]``
+    (fuzzy or crisp, defaulting to uniform) estimates how likely that
+    outcome is.  Weights are normalised by their crisp total so that
+    degenerate all-zero weights fall back to the uniform case.
+    """
+    n = len(outcome_entropies)
+    if n == 0:
+        raise ValueError("a test must have at least one outcome")
+    if outcome_weights is None:
+        weights: Sequence[FuzzyInterval] = [FuzzyInterval.crisp(1.0 / n)] * n
+    else:
+        if len(outcome_weights) != n:
+            raise ValueError("one weight per outcome required")
+        coerced = [
+            w if isinstance(w, FuzzyInterval) else FuzzyInterval.crisp(float(w))
+            for w in outcome_weights
+        ]
+        total = sum(w.centroid for w in coerced)
+        if total <= 0.0:
+            weights = [FuzzyInterval.crisp(1.0 / n)] * n
+        else:
+            weights = [w.scale(1.0 / total) for w in coerced]
+    expected = FuzzyInterval.crisp(0.0)
+    for ent, w in zip(outcome_entropies, weights):
+        expected = expected + ent * w
+    return expected

@@ -1,0 +1,467 @@
+"""Trapezoidal fuzzy intervals (the paper's figure 1).
+
+A fuzzy interval is stored as the 4-tuple ``[m1, m2, alpha, beta]``:
+
+* ``[m1, m2]`` is the *core* (membership 1),
+* ``alpha`` is the width of the left slope (support reaches ``m1 - alpha``),
+* ``beta`` is the width of the right slope (support reaches ``m2 + beta``).
+
+This uniformly encodes
+
+* a crisp number ``m``        as ``[m, m, 0, 0]``,
+* a crisp interval ``[a, b]`` as ``[a, b, 0, 0]``,
+* a fuzzy number ``m``        as ``[m, m, alpha, beta]``,
+* a fuzzy interval            as the general 4-tuple,
+
+which is exactly the representation FLAMES propagates through circuit
+constraints.
+
+Arithmetic follows the Bonissone/Decker LR rules quoted in the paper
+(addition and subtraction are exact for trapezoids); multiplication,
+division and general monotone function application use the alpha-cut
+method, exact at the 0- and 1-cuts and linear in between, which is the
+standard trapezoidal approximation and is valid for operands of any
+sign.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Tuple
+
+__all__ = ["FuzzyInterval"]
+
+#: Absolute tolerance used for degeneracy checks (zero-width slopes etc.).
+_EPS = 1e-12
+
+
+def _interval_mul(a: Tuple[float, float], b: Tuple[float, float]) -> Tuple[float, float]:
+    """Exact product of two crisp intervals."""
+    products = (a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1])
+    return min(products), max(products)
+
+
+def _interval_div(a: Tuple[float, float], b: Tuple[float, float]) -> Tuple[float, float]:
+    """Exact quotient of two crisp intervals; ``b`` must exclude zero."""
+    if b[0] <= 0.0 <= b[1]:
+        raise ZeroDivisionError("fuzzy division by an interval containing zero")
+    quotients = (a[0] / b[0], a[0] / b[1], a[1] / b[0], a[1] / b[1])
+    return min(quotients), max(quotients)
+
+
+@dataclass(frozen=True)
+class FuzzyInterval:
+    """A trapezoidal fuzzy interval ``[m1, m2, alpha, beta]``.
+
+    Instances are immutable and hashable so they can be used as node
+    values inside the ATMS and memoised by the propagation engine.
+    """
+
+    m1: float
+    m2: float
+    alpha: float = 0.0
+    beta: float = 0.0
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.m1) or math.isnan(self.m2):
+            raise ValueError("fuzzy interval core must not be NaN")
+        if self.m1 > self.m2 + _EPS:
+            raise ValueError(f"inverted core [{self.m1}, {self.m2}]")
+        if self.alpha < -_EPS or self.beta < -_EPS:
+            raise ValueError("slope widths must be non-negative")
+        # Normalise tiny negative noise from float arithmetic.
+        object.__setattr__(self, "alpha", max(self.alpha, 0.0))
+        object.__setattr__(self, "beta", max(self.beta, 0.0))
+        if self.m1 > self.m2:  # within _EPS; collapse
+            mid = 0.5 * (self.m1 + self.m2)
+            object.__setattr__(self, "m1", mid)
+            object.__setattr__(self, "m2", mid)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def crisp(cls, value: float) -> "FuzzyInterval":
+        """A crisp real number ``[m, m, 0, 0]``."""
+        return cls(value, value, 0.0, 0.0)
+
+    @classmethod
+    def crisp_interval(cls, low: float, high: float) -> "FuzzyInterval":
+        """A crisp interval ``[a, b, 0, 0]``."""
+        return cls(low, high, 0.0, 0.0)
+
+    @classmethod
+    def number(cls, value: float, alpha: float, beta: float | None = None) -> "FuzzyInterval":
+        """A fuzzy number ``[m, m, alpha, beta]`` (``beta`` defaults to ``alpha``)."""
+        return cls(value, value, alpha, alpha if beta is None else beta)
+
+    @classmethod
+    def triangular(cls, low: float, peak: float, high: float) -> "FuzzyInterval":
+        """A triangular fuzzy number with support ``[low, high]`` and core ``peak``."""
+        if not low <= peak <= high:
+            raise ValueError("triangular requires low <= peak <= high")
+        return cls(peak, peak, peak - low, high - peak)
+
+    @classmethod
+    def from_support_core(
+        cls, support: Tuple[float, float], core: Tuple[float, float]
+    ) -> "FuzzyInterval":
+        """Build from explicit support and core intervals (core within support)."""
+        (s_lo, s_hi), (c_lo, c_hi) = support, core
+        if not (s_lo <= c_lo + _EPS and c_hi <= s_hi + _EPS and c_lo <= c_hi + _EPS):
+            raise ValueError(f"core {core} must lie within support {support}")
+        c_lo = max(c_lo, s_lo)
+        c_hi = min(max(c_hi, c_lo), s_hi)
+        return cls(c_lo, c_hi, c_lo - s_lo, s_hi - c_hi)
+
+    @classmethod
+    def around(cls, value: float, tolerance: float) -> "FuzzyInterval":
+        """A fuzzy number for ``value`` with relative ``tolerance`` as slope width.
+
+        ``around(100, 0.05)`` models a nominally 100-valued component with a
+        5 % soft tolerance — the typical way FLAMES encodes datasheet
+        tolerances.
+        """
+        spread = abs(value) * tolerance
+        return cls(value, value, spread, spread)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def support(self) -> Tuple[float, float]:
+        """The closure of ``{x : mu(x) > 0}``."""
+        return (self.m1 - self.alpha, self.m2 + self.beta)
+
+    @property
+    def core(self) -> Tuple[float, float]:
+        """The set ``{x : mu(x) == 1}``."""
+        return (self.m1, self.m2)
+
+    @property
+    def is_crisp_number(self) -> bool:
+        return self.m1 == self.m2 and self.alpha == 0.0 and self.beta == 0.0
+
+    @property
+    def is_crisp_interval(self) -> bool:
+        return self.alpha == 0.0 and self.beta == 0.0
+
+    @property
+    def is_fuzzy_number(self) -> bool:
+        return self.m1 == self.m2
+
+    @property
+    def width(self) -> float:
+        """Width of the support."""
+        lo, hi = self.support
+        return hi - lo
+
+    @property
+    def area(self) -> float:
+        """Area under the membership function: ``(m2-m1) + (alpha+beta)/2``.
+
+        This is the denominator of the paper's degree of consistency
+        ``Dc = area(Vm intersect Vn) / area(Vm)``.
+        """
+        return (self.m2 - self.m1) + 0.5 * (self.alpha + self.beta)
+
+    @property
+    def centroid(self) -> float:
+        """Centre of gravity of the membership function.
+
+        For a degenerate (zero-area) interval this is the midpoint of the
+        core, which is the natural limit.
+        """
+        if self.area <= _EPS:
+            return 0.5 * (self.m1 + self.m2)
+        s_lo, s_hi = self.support
+        # Decompose into left triangle, core rectangle, right triangle.
+        pieces = (
+            (self.alpha / 2.0, s_lo + 2.0 * self.alpha / 3.0),
+            (self.m2 - self.m1, 0.5 * (self.m1 + self.m2)),
+            (self.beta / 2.0, self.m2 + self.beta / 3.0),
+        )
+        total = sum(a for a, _ in pieces)
+        return sum(a * c for a, c in pieces) / total
+
+    def membership(self, x: float) -> float:
+        """Membership degree ``mu(x)`` of a real ``x`` (figure 1's formula)."""
+        if x < self.m1:
+            if self.alpha == 0.0:
+                return 0.0
+            return max(0.0, (x - self.m1 + self.alpha) / self.alpha)
+        if x > self.m2:
+            if self.beta == 0.0:
+                return 0.0
+            return max(0.0, (self.m2 + self.beta - x) / self.beta)
+        return 1.0
+
+    def alpha_cut(self, level: float) -> Tuple[float, float]:
+        """The crisp interval ``{x : mu(x) >= level}`` for ``level`` in (0, 1]."""
+        if not 0.0 < level <= 1.0:
+            raise ValueError("alpha-cut level must be in (0, 1]")
+        return (
+            self.m1 - self.alpha * (1.0 - level),
+            self.m2 + self.beta * (1.0 - level),
+        )
+
+    def contains(self, other: "FuzzyInterval") -> bool:
+        """Fuzzy-set inclusion: ``other``'s membership never exceeds ours.
+
+        For trapezoids this holds iff both the support and the core of
+        ``other`` are nested in ours *and* the slopes do not cross, which
+        reduces to cut containment at levels 0 and 1 (slopes are linear).
+        """
+        s_lo, s_hi = self.support
+        o_lo, o_hi = other.support
+        return (
+            s_lo - _EPS <= o_lo
+            and o_hi <= s_hi + _EPS
+            and self.m1 - _EPS <= other.m1
+            and other.m2 <= self.m2 + _EPS
+        )
+
+    def blur(self, extra: float) -> "FuzzyInterval":
+        """Widen both slopes by ``extra`` (models added measurement imprecision)."""
+        if extra < 0:
+            raise ValueError("blur amount must be non-negative")
+        return FuzzyInterval(self.m1, self.m2, self.alpha + extra, self.beta + extra)
+
+    # ------------------------------------------------------------------
+    # Arithmetic (Bonissone/Decker LR rules; see module docstring)
+    # ------------------------------------------------------------------
+    def __add__(self, other: "FuzzyInterval | float | int") -> "FuzzyInterval":
+        other = _coerce(other)
+        return FuzzyInterval(
+            self.m1 + other.m1,
+            self.m2 + other.m2,
+            self.alpha + other.alpha,
+            self.beta + other.beta,
+        )
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "FuzzyInterval":
+        return FuzzyInterval(-self.m2, -self.m1, self.beta, self.alpha)
+
+    def __sub__(self, other: "FuzzyInterval | float | int") -> "FuzzyInterval":
+        other = _coerce(other)
+        return FuzzyInterval(
+            self.m1 - other.m2,
+            self.m2 - other.m1,
+            self.alpha + other.beta,
+            self.beta + other.alpha,
+        )
+
+    def __rsub__(self, other: "FuzzyInterval | float | int") -> "FuzzyInterval":
+        return _coerce(other) - self
+
+    def __mul__(self, other: "FuzzyInterval | float | int") -> "FuzzyInterval":
+        other = _coerce(other)
+        core = _interval_mul(self.core, other.core)
+        supp = _interval_mul(self.support, other.support)
+        return FuzzyInterval.from_support_core(supp, core)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "FuzzyInterval | float | int") -> "FuzzyInterval":
+        other = _coerce(other)
+        core = _interval_div(self.core, other.core)
+        supp = _interval_div(self.support, other.support)
+        return FuzzyInterval.from_support_core(supp, core)
+
+    def __rtruediv__(self, other: "FuzzyInterval | float | int") -> "FuzzyInterval":
+        return _coerce(other) / self
+
+    def reciprocal(self) -> "FuzzyInterval":
+        """``1 / self``; the support must exclude zero."""
+        return FuzzyInterval.crisp(1.0) / self
+
+    def scale(self, k: float) -> "FuzzyInterval":
+        """Multiplication by a crisp scalar (exact, not an approximation)."""
+        if k >= 0:
+            return FuzzyInterval(k * self.m1, k * self.m2, k * self.alpha, k * self.beta)
+        return FuzzyInterval(k * self.m2, k * self.m1, -k * self.beta, -k * self.alpha)
+
+    def apply_monotone(self, func: Callable[[float], float], increasing: bool = True) -> "FuzzyInterval":
+        """Image of this fuzzy interval under a monotone real function.
+
+        Uses the extension principle on the 0- and 1-cuts (exact at those
+        levels, linear in between).  ``func`` must be monotone over the
+        support.
+        """
+        s_lo, s_hi = self.support
+        pts_core = sorted((func(self.m1), func(self.m2)))
+        pts_supp = sorted((func(s_lo), func(s_hi)))
+        if not increasing:
+            # sorted() already reorders; nothing else differs.
+            pass
+        return FuzzyInterval.from_support_core(
+            (min(pts_supp[0], pts_core[0]), max(pts_supp[1], pts_core[1])),
+            (pts_core[0], pts_core[1]),
+        )
+
+    def apply_unimodal(
+        self, func: Callable[[float], float], peak_x: float, maximum: bool = True
+    ) -> "FuzzyInterval":
+        """Image under a unimodal function with known extremum at ``peak_x``.
+
+        Needed for the entropy term ``g(x) = -x log2 x`` whose maximum sits
+        at ``1/e``: the image of a cut interval ``[a, b]`` is
+        ``[min(g(a), g(b)), g(peak)]`` when the peak lies inside and the
+        function attains a maximum there (symmetrically for a minimum).
+        """
+
+        def image(cut: Tuple[float, float]) -> Tuple[float, float]:
+            a, b = cut
+            lo, hi = sorted((func(a), func(b)))
+            if a <= peak_x <= b:
+                peak_val = func(peak_x)
+                if maximum:
+                    hi = max(hi, peak_val)
+                else:
+                    lo = min(lo, peak_val)
+            return lo, hi
+
+        core = image(self.core)
+        supp = image(self.support)
+        return FuzzyInterval.from_support_core(
+            (min(supp[0], core[0]), max(supp[1], core[1])), core
+        )
+
+    # ------------------------------------------------------------------
+    # Set operations
+    # ------------------------------------------------------------------
+    def overlaps(self, other: "FuzzyInterval") -> bool:
+        """True when the supports intersect (including at a single point)."""
+        a_lo, a_hi = self.support
+        b_lo, b_hi = other.support
+        return a_lo <= b_hi + _EPS and b_lo <= a_hi + _EPS
+
+    def intersection_area(self, other: "FuzzyInterval") -> float:
+        """Exact area under ``min(mu_self, mu_other)``.
+
+        Both membership functions are piecewise linear, so their pointwise
+        minimum is piecewise linear with breakpoints at the trapezoid
+        corners and at slope crossings; on each sub-segment the integral
+        equals the midpoint value times the width.
+
+        Degenerate operands (zero area) contribute zero area; callers that
+        need a *degree* for a crisp point should use
+        :func:`repro.fuzzy.compare.consistency`, which falls back to the
+        membership degree.
+        """
+        if not self.overlaps(other):
+            return 0.0
+        xs = set()
+        for fz in (self, other):
+            s_lo, s_hi = fz.support
+            xs.update((s_lo, fz.m1, fz.m2, s_hi))
+        xs.update(_slope_crossings(self, other))
+        lo = max(self.support[0], other.support[0])
+        hi = min(self.support[1], other.support[1])
+        grid = sorted(x for x in xs if lo - _EPS <= x <= hi + _EPS)
+        if not grid or grid[0] > lo:
+            grid.insert(0, lo)
+        if grid[-1] < hi:
+            grid.append(hi)
+        total = 0.0
+        for left, right in zip(grid, grid[1:]):
+            if right - left <= _EPS:
+                continue
+            mid = 0.5 * (left + right)
+            total += min(self.membership(mid), other.membership(mid)) * (right - left)
+        return total
+
+    def intersection_hull(self, other: "FuzzyInterval") -> "FuzzyInterval | None":
+        """Trapezoidal hull of ``min(mu_self, mu_other)``, or ``None`` if disjoint.
+
+        Used by the propagation engine to *narrow* a quantity's label when
+        two fuzzy values for it must both hold: support = intersection of
+        supports; core = intersection of cores when non-empty, otherwise
+        collapsed to the highest-membership point of the minimum.
+        """
+        if not self.overlaps(other):
+            return None
+        s_lo = max(self.support[0], other.support[0])
+        s_hi = min(self.support[1], other.support[1])
+        c_lo = max(self.m1, other.m1)
+        c_hi = min(self.m2, other.m2)
+        if c_lo <= c_hi:
+            return FuzzyInterval.from_support_core((s_lo, s_hi), (c_lo, c_hi))
+        # Cores disjoint: the minimum peaks where the falling slope of the
+        # lower trapezoid meets the rising slope of the upper one.
+        peak = _peak_of_min(self, other, s_lo, s_hi)
+        return FuzzyInterval.from_support_core((s_lo, s_hi), (peak, peak))
+
+    def union_hull(self, other: "FuzzyInterval") -> "FuzzyInterval":
+        """Trapezoidal hull of ``max(mu_self, mu_other)`` (convex envelope)."""
+        s_lo = min(self.support[0], other.support[0])
+        s_hi = max(self.support[1], other.support[1])
+        c_lo = min(self.m1, other.m1)
+        c_hi = max(self.m2, other.m2)
+        return FuzzyInterval.from_support_core((s_lo, s_hi), (c_lo, c_hi))
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def is_close(self, other: "FuzzyInterval", tol: float = 1e-9) -> bool:
+        """Component-wise approximate equality."""
+        return (
+            abs(self.m1 - other.m1) <= tol
+            and abs(self.m2 - other.m2) <= tol
+            and abs(self.alpha - other.alpha) <= tol
+            and abs(self.beta - other.beta) <= tol
+        )
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.m1, self.m2, self.alpha, self.beta)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"[{self.m1:g},{self.m2:g},{self.alpha:g},{self.beta:g}]"
+        )
+
+
+def _coerce(value: "FuzzyInterval | float | int") -> FuzzyInterval:
+    if isinstance(value, FuzzyInterval):
+        return value
+    if isinstance(value, (int, float)):
+        return FuzzyInterval.crisp(float(value))
+    raise TypeError(f"cannot interpret {value!r} as a fuzzy interval")
+
+
+def _segments(fz: FuzzyInterval) -> Iterable[Tuple[float, float, float, float]]:
+    """Non-degenerate linear pieces of ``fz``'s membership as (x0, y0, x1, y1)."""
+    s_lo, s_hi = fz.support
+    pieces = ((s_lo, 0.0, fz.m1, 1.0), (fz.m1, 1.0, fz.m2, 1.0), (fz.m2, 1.0, s_hi, 0.0))
+    return [p for p in pieces if p[2] - p[0] > _EPS]
+
+
+def _slope_crossings(a: FuzzyInterval, b: FuzzyInterval) -> Iterable[float]:
+    """x-coordinates where a linear piece of ``a`` crosses one of ``b``."""
+    crossings = []
+    for x0, y0, x1, y1 in _segments(a):
+        slope_a = (y1 - y0) / (x1 - x0)
+        for u0, v0, u1, v1 in _segments(b):
+            slope_b = (v1 - v0) / (u1 - u0)
+            if abs(slope_a - slope_b) <= _EPS:
+                continue
+            # Solve y0 + sa (x - x0) = v0 + sb (x - u0).
+            x = (v0 - y0 + slope_a * x0 - slope_b * u0) / (slope_a - slope_b)
+            if max(x0, u0) - _EPS <= x <= min(x1, u1) + _EPS:
+                crossings.append(x)
+    return crossings
+
+
+def _peak_of_min(a: FuzzyInterval, b: FuzzyInterval, lo: float, hi: float) -> float:
+    """Argmax of ``min(mu_a, mu_b)`` over [lo, hi] for core-disjoint trapezoids."""
+    candidates = [lo, hi]
+    candidates.extend(x for x in _slope_crossings(a, b) if lo - _EPS <= x <= hi + _EPS)
+    best_x, best_v = lo, -1.0
+    for x in candidates:
+        v = min(a.membership(x), b.membership(x))
+        if v > best_v:
+            best_x, best_v = x, v
+    return min(max(best_x, lo), hi)

@@ -1,0 +1,141 @@
+"""Linguistic variables: fuzzy estimations of faultiness (paper section 8.1).
+
+The best-test strategy unit replaces numeric a-priori probabilities with
+*linguistic* faultiness estimations — fuzzy intervals over [0, 1] named
+``correct``, ``likely correct`` ... ``faulty``.  The paper fixes two of
+the terms (``Correct = [0, .05, 0, .05]`` and
+``Likely correct = [.18, .34, .02, .06]``) and leaves the granularity to
+the application; :func:`faultiness_scale` builds scales of any odd
+granularity that include the published anchors at granularity 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.fuzzy.interval import FuzzyInterval
+
+__all__ = ["LinguisticTerm", "LinguisticVariable", "faultiness_scale", "FAULTINESS_5"]
+
+
+@dataclass(frozen=True)
+class LinguisticTerm:
+    """A named fuzzy subset of the variable's domain."""
+
+    name: str
+    value: FuzzyInterval
+
+    def membership(self, x: float) -> float:
+        return self.value.membership(x)
+
+
+@dataclass
+class LinguisticVariable:
+    """A domain plus an ordered family of linguistic terms covering it."""
+
+    name: str
+    domain: tuple
+    terms: List[LinguisticTerm] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        lo, hi = self.domain
+        if lo >= hi:
+            raise ValueError(f"empty domain {self.domain}")
+        names = [t.name for t in self.terms]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate term names in {names}")
+
+    def term(self, name: str) -> LinguisticTerm:
+        for t in self.terms:
+            if t.name == name:
+                return t
+        raise KeyError(f"{self.name} has no term {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(t.name == name for t in self.terms)
+
+    def memberships(self, x: float) -> Dict[str, float]:
+        """Membership of ``x`` in every term (the fuzzification of ``x``)."""
+        lo, hi = self.domain
+        if not lo <= x <= hi:
+            raise ValueError(f"{x} outside domain {self.domain}")
+        return {t.name: t.membership(x) for t in self.terms}
+
+    def classify(self, x: float) -> str:
+        """Name of the best-matching term for a scalar ``x``.
+
+        Ties break toward the earlier (more pessimistic-to-optimistic
+        ordering is the caller's choice of term order) term, so the result
+        is deterministic.
+        """
+        members = self.memberships(x)
+        best = max(self.terms, key=lambda t: members[t.name])
+        if members[best.name] > 0.0:
+            return best.name
+        # x falls in a coverage gap (the paper's published anchors leave
+        # small gaps, e.g. (0.10, 0.16)): pick the nearest term by centroid.
+        return min(self.terms, key=lambda t: abs(t.value.centroid - x)).name
+
+    def match(self, value: FuzzyInterval) -> str:
+        """Best-matching term for a *fuzzy* estimation, by possibility.
+
+        Uses the supremum of the pointwise minimum between the estimation
+        and each term (possibility of matching), breaking ties toward the
+        term whose centroid is closest.
+        """
+        from repro.fuzzy.compare import possibility
+
+        scored = [
+            (possibility(value, t.value), -abs(value.centroid - t.value.centroid), t.name)
+            for t in self.terms
+        ]
+        scored.sort(reverse=True)
+        return scored[0][2]
+
+
+#: Term names used for the canonical granularity-5 faultiness scale.
+_FIVE_NAMES = ("correct", "likely correct", "unknown", "likely faulty", "faulty")
+
+
+def faultiness_scale(granularity: int = 5) -> LinguisticVariable:
+    """A faultiness linguistic variable on [0, 1].
+
+    ``granularity`` must be odd and >= 3 so a neutral middle term exists.
+    At granularity 5 the two low anchors are exactly the paper's published
+    terms; the remaining terms mirror them symmetrically about 0.5 and the
+    middle term covers the gap.
+    """
+    if granularity < 3 or granularity % 2 == 0:
+        raise ValueError("granularity must be odd and >= 3")
+    if granularity == 5:
+        return FAULTINESS_5
+    # Evenly spread triangular-ish terms; ends are shoulders.
+    step = 1.0 / (granularity - 1)
+    terms = []
+    for i in range(granularity):
+        centre = i * step
+        lo = max(0.0, centre - step)
+        hi = min(1.0, centre + step)
+        core_lo = 0.0 if i == 0 else centre
+        core_hi = 1.0 if i == granularity - 1 else centre
+        value = FuzzyInterval.from_support_core((min(lo, core_lo), max(hi, core_hi)), (core_lo, core_hi))
+        terms.append(LinguisticTerm(f"level_{i}", value))
+    return LinguisticVariable(f"faultiness_{granularity}", (0.0, 1.0), terms)
+
+
+def _five_scale() -> LinguisticVariable:
+    terms = [
+        # The two anchors published in the paper:
+        LinguisticTerm("correct", FuzzyInterval(0.0, 0.05, 0.0, 0.05)),
+        LinguisticTerm("likely correct", FuzzyInterval(0.18, 0.34, 0.02, 0.06)),
+        LinguisticTerm("unknown", FuzzyInterval(0.42, 0.58, 0.06, 0.06)),
+        # Mirrors of the anchors about 0.5:
+        LinguisticTerm("likely faulty", FuzzyInterval(0.66, 0.82, 0.06, 0.02)),
+        LinguisticTerm("faulty", FuzzyInterval(0.95, 1.0, 0.05, 0.0)),
+    ]
+    return LinguisticVariable("faultiness", (0.0, 1.0), terms)
+
+
+#: The canonical 5-term faultiness scale (paper's anchors + mirrored terms).
+FAULTINESS_5 = _five_scale()

@@ -1,0 +1,85 @@
+"""Defuzzification and membership-function helpers.
+
+The best-test unit and the report generator repeatedly need to turn a
+fuzzy quantity back into a representative scalar (to rank tests, to
+print a single suspicion number) or to evaluate memberships over grids
+(for plotting and for the figure-1 shape tests).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.fuzzy.interval import FuzzyInterval
+
+__all__ = [
+    "defuzzify_centroid",
+    "defuzzify_mean_of_max",
+    "defuzzify_bisector",
+    "sample_membership",
+    "breakpoints",
+]
+
+
+def defuzzify_centroid(value: FuzzyInterval) -> float:
+    """Centre-of-gravity defuzzification (delegates to the interval)."""
+    return value.centroid
+
+
+def defuzzify_mean_of_max(value: FuzzyInterval) -> float:
+    """Midpoint of the core — the mean of the maximising set."""
+    return 0.5 * (value.m1 + value.m2)
+
+
+def defuzzify_bisector(value: FuzzyInterval, tol: float = 1e-9) -> float:
+    """The x splitting the membership area into two equal halves.
+
+    Falls back to the core midpoint for degenerate (zero-area) values.
+    """
+    total = value.area
+    if total <= tol:
+        return defuzzify_mean_of_max(value)
+    target = 0.5 * total
+    acc = 0.0
+    xs = breakpoints(value)
+    for left, right in zip(xs, xs[1:]):
+        width = right - left
+        if width <= tol:
+            continue
+        mu_l, mu_r = value.membership(left), value.membership(right)
+        piece = 0.5 * (mu_l + mu_r) * width
+        if acc + piece < target:
+            acc += piece
+            continue
+        # Solve for x within this linear piece: integral of the linear
+        # membership from `left` to x equals target - acc.
+        need = target - acc
+        slope = (mu_r - mu_l) / width
+        if abs(slope) <= tol:
+            return left + need / mu_l if mu_l > tol else right
+        # 0.5*slope*(x-left)^2 + mu_l*(x-left) = need
+        a, b, c = 0.5 * slope, mu_l, -need
+        disc = max(b * b - 4 * a * c, 0.0)
+        dx = (-b + disc**0.5) / (2 * a)
+        return left + max(0.0, min(dx, width))
+    return xs[-1]
+
+
+def sample_membership(value: FuzzyInterval, n: int = 101) -> List[Tuple[float, float]]:
+    """``n`` evenly spaced ``(x, mu(x))`` samples across the support.
+
+    Degenerate supports produce a single sample at the point.
+    """
+    lo, hi = value.support
+    if hi - lo <= 0.0:
+        return [(lo, 1.0)]
+    if n < 2:
+        raise ValueError("need at least two samples")
+    step = (hi - lo) / (n - 1)
+    return [(lo + i * step, value.membership(lo + i * step)) for i in range(n)]
+
+
+def breakpoints(value: FuzzyInterval) -> Sequence[float]:
+    """The sorted corner x-coordinates of the trapezoid."""
+    lo, hi = value.support
+    return sorted({lo, value.m1, value.m2, hi})

@@ -1,0 +1,68 @@
+"""Unit tests for maximal consistent environments."""
+
+import pytest
+
+from repro.atms import Environment, NogoodDatabase
+from repro.atms.assumptions import Assumption
+from repro.atms.interpretations import interpretations
+
+
+def asm(name):
+    return Assumption(name, name)
+
+
+def env(*names):
+    return Environment(frozenset(asm(n) for n in names))
+
+
+class TestInterpretations:
+    def test_no_nogoods_single_full_interpretation(self):
+        assumptions = [asm(n) for n in "abc"]
+        maximal = interpretations(assumptions, NogoodDatabase())
+        assert maximal == [env("a", "b", "c")]
+
+    def test_single_pairwise_conflict_splits(self):
+        db = NogoodDatabase()
+        db.add(env("a", "b"))
+        maximal = interpretations([asm(n) for n in "abc"], db)
+        assert set(maximal) == {env("a", "c"), env("b", "c")}
+
+    def test_disjoint_conflicts_multiply(self):
+        db = NogoodDatabase()
+        db.add(env("a", "b"))
+        db.add(env("c", "d"))
+        maximal = interpretations([asm(n) for n in "abcd"], db)
+        assert len(maximal) == 4
+
+    def test_soft_nogoods_do_not_prune(self):
+        """Only hard nogoods constrain the interpretations."""
+        db = NogoodDatabase()
+        db.add(env("a", "b"), 0.5)
+        maximal = interpretations([asm(n) for n in "ab"], db)
+        assert maximal == [env("a", "b")]
+
+    def test_results_are_maximal(self):
+        db = NogoodDatabase()
+        db.add(env("a", "b"))
+        db.add(env("b", "c"))
+        maximal = interpretations([asm(n) for n in "abc"], db)
+        for m1 in maximal:
+            for m2 in maximal:
+                assert not m1.is_proper_subset(m2)
+
+    def test_limit_bounds_results(self):
+        db = NogoodDatabase()
+        for i in range(5):
+            db.add(env(f"x{2 * i}", f"x{2 * i + 1}"))
+        assumptions = [asm(f"x{i}") for i in range(10)]
+        bounded = interpretations(assumptions, db, limit=3)
+        assert len(bounded) <= 3
+
+    def test_empty_assumption_set(self):
+        assert interpretations([], NogoodDatabase()) == [Environment.empty()]
+
+    def test_singleton_nogood_excludes_assumption(self):
+        db = NogoodDatabase()
+        db.add(env("a"))
+        maximal = interpretations([asm("a"), asm("b")], db)
+        assert maximal == [env("b")]

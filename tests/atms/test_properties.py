@@ -1,0 +1,138 @@
+"""Property-based tests for ATMS invariants."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atms import ATMS, Environment, NogoodDatabase, minimal_hitting_sets
+from repro.atms.assumptions import Assumption, minimal_antichain
+from repro.atms.interpretations import interpretations
+
+_names = st.sampled_from(["a", "b", "c", "d", "e"])
+_sets = st.sets(_names, min_size=1, max_size=4).map(
+    lambda s: frozenset(Assumption(n, n) for n in s)
+)
+
+
+class TestHittingSetProperties:
+    @given(st.lists(_sets, min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_every_hitter_hits_everything(self, conflict_sets):
+        for h in minimal_hitting_sets(conflict_sets):
+            assert all(h & s for s in conflict_sets)
+
+    @given(st.lists(_sets, min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_results_form_antichain(self, conflict_sets):
+        hs = minimal_hitting_sets(conflict_sets)
+        for h1, h2 in itertools.combinations(hs, 2):
+            assert not (h1 <= h2 or h2 <= h1)
+
+    @given(st.lists(_sets, min_size=1, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, conflict_sets):
+        universe = sorted({a for s in conflict_sets for a in s})
+        brute = [
+            frozenset(combo)
+            for r in range(len(universe) + 1)
+            for combo in itertools.combinations(universe, r)
+            if all(frozenset(combo) & s for s in conflict_sets)
+        ]
+        brute_minimal = {h for h in brute if not any(h2 < h for h2 in brute)}
+        assert set(minimal_hitting_sets(conflict_sets)) == brute_minimal
+
+
+class TestNogoodDatabaseProperties:
+    @given(
+        st.lists(
+            st.tuples(_sets, st.floats(min_value=0.05, max_value=1.0)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_store_is_degree_antichain(self, entries):
+        db = NogoodDatabase()
+        for s, d in entries:
+            db.add(Environment(s), d)
+        stored = db.minimal()
+        for n1, n2 in itertools.combinations(stored, 2):
+            if n1.environment.is_proper_subset(n2.environment):
+                assert n1.degree < n2.degree
+            if n2.environment.is_proper_subset(n1.environment):
+                assert n2.degree < n1.degree
+
+    @given(
+        st.lists(
+            st.tuples(_sets, st.floats(min_value=0.05, max_value=1.0)),
+            min_size=1,
+            max_size=8,
+        ),
+        _sets,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_conflict_degree_never_decreases_with_more_nogoods(self, entries, probe):
+        db = NogoodDatabase()
+        degrees = []
+        for s, d in entries:
+            db.add(Environment(s), d)
+            degrees.append(db.conflict_degree(Environment(probe)))
+        assert all(x <= y + 1e-12 for x, y in zip(degrees, degrees[1:]))
+
+
+class TestAntichainHelper:
+    @given(st.lists(_sets, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_minimal_antichain(self, sets):
+        envs = [Environment(s) for s in sets]
+        kept = minimal_antichain(envs)
+        for e1, e2 in itertools.combinations(kept, 2):
+            assert not (e1.is_subset(e2) or e2.is_subset(e1))
+        # Every original environment is covered by some kept subset.
+        for env in envs:
+            assert any(k.is_subset(env) for k in kept)
+
+
+class TestInterpretationProperties:
+    @given(st.lists(_sets, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_interpretations_consistent_and_maximal(self, nogood_sets):
+        db = NogoodDatabase()
+        for s in nogood_sets:
+            db.add(Environment(s), 1.0)
+        assumptions = [Assumption(n, n) for n in ["a", "b", "c", "d", "e"]]
+        maximal = interpretations(assumptions, db)
+        for env in maximal:
+            assert not db.is_inconsistent(env)
+            # Maximal: adding any missing assumption breaks consistency
+            # unless another interpretation contains the extension.
+            for a in assumptions:
+                if not env.contains(a):
+                    extended = Environment(env.assumptions | {a})
+                    covered = any(
+                        extended.is_subset(other) for other in maximal
+                    )
+                    assert db.is_inconsistent(extended) or not covered or extended in maximal
+
+
+class TestATMSLabelProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sets(_names, min_size=1, max_size=3), _names),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_labels_are_minimal_antichains(self, rules):
+        atms = ATMS()
+        for ants, cons in rules:
+            ant_nodes = [atms.create_assumption(f"A_{n}") for n in sorted(ants)]
+            consequent = atms.create_node(f"n_{cons}")
+            atms.justify("r", ant_nodes, consequent)
+        for node in atms.nodes.values():
+            envs = list(node.label)
+            for e1, e2 in itertools.combinations(envs, 2):
+                assert not e1.is_proper_subset(e2) or node.label[e1] < node.label[e2]
+                assert not e2.is_proper_subset(e1) or node.label[e2] < node.label[e1]

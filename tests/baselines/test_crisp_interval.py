@@ -1,0 +1,116 @@
+"""Tests for the crisp interval baseline arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines import Interval
+from repro.fuzzy import FuzzyInterval
+
+
+class TestConstruction:
+    def test_point(self):
+        assert Interval.point(3.0) == Interval(3.0, 3.0)
+
+    def test_around(self):
+        assert Interval.around(100.0, 0.05) == Interval(95.0, 105.0)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(float("nan"), 1.0)
+
+    def test_fuzzy_round_trip(self):
+        fz = FuzzyInterval(1.0, 2.0, 0.5, 0.5)
+        crisp = Interval.from_fuzzy(fz)
+        assert crisp == Interval(0.5, 2.5)  # the support
+        assert crisp.to_fuzzy().is_crisp_interval
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Interval(1, 2) + Interval(3, 4) == Interval(4, 6)
+
+    def test_sub(self):
+        assert Interval(1, 2) - Interval(3, 4) == Interval(-3, -1)
+
+    def test_neg(self):
+        assert -Interval(1, 2) == Interval(-2, -1)
+
+    def test_mul_mixed_signs(self):
+        assert Interval(-2, 3) * Interval(4, 5) == Interval(-10, 15)
+
+    def test_div(self):
+        assert Interval(8, 15) / Interval(4, 5) == Interval(8 / 5, 15 / 4)
+
+    def test_div_by_zero_interval(self):
+        with pytest.raises(ZeroDivisionError):
+            Interval(1, 2) / Interval(-1, 1)
+
+    def test_scalar_coercion(self):
+        assert Interval(1, 2) + 1 == Interval(2, 3)
+        assert 3 - Interval(1, 2) == Interval(1, 2)
+        assert 2 * Interval(1, 2) == Interval(2, 4)
+        assert 6 / Interval(2, 3) == Interval(2, 3)
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            Interval(1, 2) + "x"
+
+
+class TestSetOperations:
+    def test_contains(self):
+        assert Interval(0, 10).contains(Interval(2, 3))
+        assert Interval(0, 10).contains(5.0)
+        assert not Interval(0, 10).contains(Interval(5, 11))
+
+    def test_intersection(self):
+        assert Interval(0, 2).intersection(Interval(1, 3)) == Interval(1, 2)
+        assert Interval(0, 1).intersection(Interval(2, 3)) is None
+
+    def test_hull(self):
+        assert Interval(0, 1).hull(Interval(3, 4)) == Interval(0, 4)
+
+    def test_paper_figure2_crisp_row(self):
+        """Crisp propagation Vb = Va * [0.95, 1.05] = [2.8, 3.2]."""
+        va = Interval(2.95, 3.05)
+        amp1 = Interval(0.95, 1.05)
+        vb = va * amp1
+        assert vb.lo == pytest.approx(2.8025)
+        assert vb.hi == pytest.approx(3.2025)
+
+
+_bounds = st.floats(min_value=-100, max_value=100, allow_nan=False)
+
+
+@st.composite
+def intervals(draw):
+    lo = draw(_bounds)
+    hi = draw(st.floats(min_value=lo, max_value=101, allow_nan=False))
+    return Interval(lo, hi)
+
+
+class TestProperties:
+    @given(intervals(), intervals())
+    def test_addition_encloses_pointwise(self, a, b):
+        s = a + b
+        assert s.contains(a.midpoint + b.midpoint)
+
+    @given(intervals(), intervals())
+    def test_multiplication_encloses_pointwise(self, a, b):
+        p = a * b
+        for x in (a.lo, a.midpoint, a.hi):
+            for y in (b.lo, b.midpoint, b.hi):
+                assert p.lo - 1e-6 <= x * y <= p.hi + 1e-6
+
+    @given(intervals(), intervals())
+    def test_hull_contains_both(self, a, b):
+        h = a.hull(b)
+        assert h.contains(a) and h.contains(b)
+
+    @given(intervals())
+    def test_width_non_negative(self, a):
+        assert a.width >= 0.0

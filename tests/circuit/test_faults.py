@@ -1,0 +1,137 @@
+"""Tests for fault injection."""
+
+import pytest
+
+from repro.circuit import (
+    Amplifier,
+    Circuit,
+    DCSolver,
+    Fault,
+    FaultKind,
+    GROUND,
+    Resistor,
+    VoltageSource,
+    apply_fault,
+    three_stage_amplifier,
+)
+from repro.circuit.faults import OPEN_RESISTANCE, SHORT_RESISTANCE
+
+
+@pytest.fixture
+def divider():
+    ckt = Circuit("div")
+    ckt.add(VoltageSource("V1", 10.0, p="a", n=GROUND))
+    ckt.add(Resistor("R1", 1e3, a="a", b="m"))
+    ckt.add(Resistor("R2", 1e3, a="m", b=GROUND))
+    return ckt
+
+
+class TestApplication:
+    def test_original_untouched(self, divider):
+        apply_fault(divider, Fault(FaultKind.SHORT, "R2"))
+        assert divider.component("R2").resistance == 1e3
+
+    def test_short_resistor(self, divider):
+        faulty = apply_fault(divider, Fault(FaultKind.SHORT, "R2"))
+        assert faulty.component("R2").resistance == SHORT_RESISTANCE
+        op = DCSolver(faulty).solve()
+        assert op.voltage("m") == pytest.approx(0.0, abs=1e-3)
+
+    def test_open_resistor(self, divider):
+        faulty = apply_fault(divider, Fault(FaultKind.OPEN, "R1"))
+        assert faulty.component("R1").resistance == OPEN_RESISTANCE
+        op = DCSolver(faulty).solve()
+        assert op.voltage("m") == pytest.approx(0.0, abs=1e-3)
+
+    def test_param_drift(self, divider):
+        faulty = apply_fault(divider, Fault(FaultKind.PARAM, "R2", value=3e3))
+        assert faulty.component("R2").resistance == 3e3
+
+    def test_param_default_parameter(self, divider):
+        faulty = apply_fault(divider, Fault(FaultKind.PARAM, "R2", value=2e3))
+        assert faulty.component("R2").resistance == 2e3
+
+    def test_param_named_parameter(self):
+        golden = three_stage_amplifier()
+        faulty = apply_fault(golden, Fault(FaultKind.PARAM, "T2", "beta", 150.0))
+        assert faulty.component("T2").beta == 150.0
+
+    def test_param_unknown_parameter(self, divider):
+        with pytest.raises(ValueError, match="no parameter"):
+            apply_fault(divider, Fault(FaultKind.PARAM, "R2", "inductance", 1.0))
+
+    def test_node_open_rewires_to_float_net(self, divider):
+        faulty = apply_fault(divider, Fault(FaultKind.NODE_OPEN, "R2", pin="a"))
+        assert faulty.component("R2").net("a").name.startswith("__float")
+        op = DCSolver(faulty).solve()
+        assert op.voltage("m") == pytest.approx(10.0, rel=1e-3)
+
+    def test_node_open_unknown_pin(self, divider):
+        with pytest.raises(ValueError, match="no pin"):
+            apply_fault(divider, Fault(FaultKind.NODE_OPEN, "R2", pin="q"))
+
+    def test_unknown_component(self, divider):
+        with pytest.raises(KeyError):
+            apply_fault(divider, Fault(FaultKind.SHORT, "R9"))
+
+    def test_faulty_circuit_renamed(self, divider):
+        faulty = apply_fault(divider, Fault(FaultKind.SHORT, "R2"))
+        assert "short R2" in faulty.name
+
+
+class TestKindSpecificBehaviour:
+    def test_diode_open_never_conducts(self):
+        from repro.circuit import Diode
+
+        ckt = Circuit("d")
+        ckt.add(VoltageSource("V1", 5.0, p="a", n=GROUND))
+        ckt.add(Resistor("R1", 1e3, a="a", b="k"))
+        ckt.add(Diode("D1", anode="k", cathode=GROUND))
+        faulty = apply_fault(ckt, Fault(FaultKind.OPEN, "D1"))
+        op = DCSolver(faulty).solve()
+        assert op.state("D1") == "off"
+        assert op.voltage("k") == pytest.approx(5.0, rel=1e-3)
+
+    def test_diode_short_zero_drop(self):
+        from repro.circuit import Diode
+
+        ckt = Circuit("d")
+        ckt.add(VoltageSource("V1", 5.0, p="a", n=GROUND))
+        ckt.add(Resistor("R1", 1e3, a="a", b="k"))
+        ckt.add(Diode("D1", anode="k", cathode=GROUND))
+        faulty = apply_fault(ckt, Fault(FaultKind.SHORT, "D1"))
+        op = DCSolver(faulty).solve()
+        assert op.voltage("k") == pytest.approx(0.0, abs=1e-6)
+
+    def test_bjt_open_cuts_off(self):
+        golden = three_stage_amplifier()
+        faulty = apply_fault(golden, Fault(FaultKind.OPEN, "T1"))
+        op = DCSolver(faulty).solve()
+        assert op.state("T1") == "cutoff"
+        assert op.voltage("v1") == pytest.approx(0.0, abs=1e-3)
+
+    def test_amplifier_open_is_dead(self):
+        ckt = Circuit("a")
+        ckt.add(VoltageSource("V1", 2.0, p="i", n=GROUND))
+        ckt.add(Amplifier("A1", 3.0, inp="i", out="o"))
+        faulty = apply_fault(ckt, Fault(FaultKind.OPEN, "A1"))
+        op = DCSolver(faulty).solve()
+        assert op.voltage("o") == pytest.approx(0.0, abs=1e-9)
+
+    def test_voltage_source_open_rejected(self, divider):
+        with pytest.raises(ValueError, match="unsolvable"):
+            apply_fault(divider, Fault(FaultKind.OPEN, "V1"))
+
+    def test_voltage_source_short_is_zero_volts(self, divider):
+        faulty = apply_fault(divider, Fault(FaultKind.SHORT, "V1"))
+        assert faulty.component("V1").voltage == 0.0
+
+
+class TestDescribe:
+    def test_descriptions(self):
+        assert Fault(FaultKind.SHORT, "R2").describe() == "short R2"
+        assert Fault(FaultKind.OPEN, "R3").describe() == "open R3"
+        assert "R2.resistance -> 12180" == Fault(
+            FaultKind.PARAM, "R2", "resistance", 12180.0
+        ).describe()
+        assert Fault(FaultKind.NODE_OPEN, "T1", pin="b").describe() == "open at T1.b"

@@ -1,0 +1,122 @@
+"""Tests for netlist structure."""
+
+import pytest
+
+from repro.circuit import Circuit, GROUND, Resistor, VoltageSource
+from repro.circuit.netlist import Net
+
+
+class TestNet:
+    def test_ground_detection(self):
+        assert Net("0").is_ground
+        assert not Net("n1").is_ground
+
+    def test_nets_order_and_hash(self):
+        assert Net("a") == Net("a")
+        assert len({Net("a"), Net("a"), Net("b")}) == 2
+        assert sorted([Net("b"), Net("a")]) == [Net("a"), Net("b")]
+
+
+class TestComponentWiring:
+    def test_pins_connected(self):
+        r = Resistor("R1", 1e3, a="x", b="y")
+        assert r.net("a") == Net("x")
+        assert r.net("b") == Net("y")
+
+    def test_missing_pin_rejected(self):
+        with pytest.raises(ValueError, match="unconnected"):
+            Resistor("R1", 1e3, a="x")
+
+    def test_unknown_pin_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Resistor("R1", 1e3, a="x", b="y", c="z")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Resistor("", 1e3, a="x", b="y")
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            Resistor("R1", 1e3, tolerance=-0.1, a="x", b="y")
+
+    def test_rewire(self):
+        r = Resistor("R1", 1e3, a="x", b="y")
+        r.rewire("b", "z")
+        assert r.net("b") == Net("z")
+
+    def test_rewire_unknown_pin(self):
+        r = Resistor("R1", 1e3, a="x", b="y")
+        with pytest.raises(KeyError):
+            r.rewire("c", "z")
+
+    def test_kind(self):
+        assert Resistor("R1", 1e3, a="x", b="y").kind == "Resistor"
+
+
+@pytest.fixture
+def divider():
+    ckt = Circuit("divider")
+    ckt.add(VoltageSource("V1", 10.0, p="top", n=GROUND))
+    ckt.add(Resistor("R1", 1e3, a="top", b="mid"))
+    ckt.add(Resistor("R2", 1e3, a="mid", b=GROUND))
+    return ckt
+
+
+class TestCircuit:
+    def test_add_and_lookup(self, divider):
+        assert divider.component("R1").resistance == 1e3
+        assert "R1" in divider
+        assert "R9" not in divider
+
+    def test_duplicate_name_rejected(self, divider):
+        with pytest.raises(ValueError, match="duplicate"):
+            divider.add(Resistor("R1", 2e3, a="top", b="mid"))
+
+    def test_unknown_component_lookup(self, divider):
+        with pytest.raises(KeyError):
+            divider.component("R9")
+
+    def test_nets_collected(self, divider):
+        names = [n.name for n in divider.nets]
+        assert names == sorted(["0", "mid", "top"])
+
+    def test_non_ground_nets(self, divider):
+        assert all(not n.is_ground for n in divider.non_ground_nets)
+
+    def test_components_on_net(self, divider):
+        touching = divider.components_on(Net("mid"))
+        assert {(c.name, pin) for c, pin in touching} == {("R1", "b"), ("R2", "a")}
+
+    def test_validate_ok(self, divider):
+        divider.validate()
+
+    def test_validate_missing_ground(self):
+        ckt = Circuit("floating")
+        ckt.add(Resistor("R1", 1e3, a="x", b="y"))
+        ckt.add(Resistor("R2", 1e3, a="y", b="x"))
+        with pytest.raises(ValueError, match="ground"):
+            ckt.validate()
+
+    def test_validate_dangling_net(self):
+        ckt = Circuit("dangling")
+        ckt.add(VoltageSource("V1", 1.0, p="a", n="0"))
+        ckt.add(Resistor("R1", 1e3, a="a", b="loose"))
+        with pytest.raises(ValueError, match="loose"):
+            ckt.validate()
+
+    def test_validate_allows_float_nets(self):
+        ckt = Circuit("faulted")
+        ckt.add(VoltageSource("V1", 1.0, p="a", n="0"))
+        ckt.add(Resistor("R1", 1e3, a="a", b="0"))
+        ckt.add(Resistor("R2", 1e3, a="a", b="__float_R2_b"))
+        ckt.validate()
+
+    def test_clone_is_deep(self, divider):
+        clone = divider.clone()
+        clone.component("R1").resistance = 9e3
+        assert divider.component("R1").resistance == 1e3
+
+    def test_clone_preserves_wiring(self, divider):
+        clone = divider.clone()
+        assert [c.name for c in clone.components] == [c.name for c in divider.components]
+        assert clone.component("R2").net("b").is_ground

@@ -1,0 +1,242 @@
+"""Tests for the DC operating-point simulator."""
+
+import pytest
+
+from repro.circuit import (
+    Amplifier,
+    BJT,
+    Capacitor,
+    Circuit,
+    CurrentSource,
+    DCSolver,
+    Diode,
+    GROUND,
+    Resistor,
+    SimulationError,
+    VoltageSource,
+)
+
+
+def solve(circuit):
+    return DCSolver(circuit).solve()
+
+
+class TestLinearCircuits:
+    def test_voltage_divider(self):
+        ckt = Circuit("div")
+        ckt.add(VoltageSource("V1", 10.0, p="a", n=GROUND))
+        ckt.add(Resistor("R1", 1e3, a="a", b="m"))
+        ckt.add(Resistor("R2", 3e3, a="m", b=GROUND))
+        op = solve(ckt)
+        assert op.voltage("m") == pytest.approx(7.5, rel=1e-4)
+        assert op.current("R1") == pytest.approx(2.5e-3, rel=1e-4)
+
+    def test_source_branch_current_direction(self):
+        ckt = Circuit("loop")
+        ckt.add(VoltageSource("V1", 10.0, p="a", n=GROUND))
+        ckt.add(Resistor("R1", 1e3, a="a", b=GROUND))
+        op = solve(ckt)
+        # p->n branch current through the source is negative: the source
+        # pushes current out of p.
+        assert op.current("V1") == pytest.approx(-10e-3, rel=1e-4)
+
+    def test_current_source_into_resistor(self):
+        ckt = Circuit("isrc")
+        ckt.add(CurrentSource("I1", 2e-3, p="x", n=GROUND))
+        ckt.add(Resistor("R1", 1e3, a="x", b=GROUND))
+        op = solve(ckt)
+        assert op.voltage("x") == pytest.approx(2.0, rel=1e-3)
+
+    def test_series_resistors(self):
+        ckt = Circuit("series")
+        ckt.add(VoltageSource("V1", 9.0, p="a", n=GROUND))
+        ckt.add(Resistor("R1", 1e3, a="a", b="b"))
+        ckt.add(Resistor("R2", 2e3, a="b", b="c"))
+        ckt.add(Resistor("R3", 3e3, a="c", b=GROUND))
+        op = solve(ckt)
+        assert op.voltage("b") == pytest.approx(9.0 * 5.0 / 6.0, rel=1e-4)
+        assert op.voltage("c") == pytest.approx(9.0 * 3.0 / 6.0, rel=1e-4)
+
+    def test_capacitor_open_at_dc(self):
+        ckt = Circuit("rc")
+        ckt.add(VoltageSource("V1", 5.0, p="a", n=GROUND))
+        ckt.add(Resistor("R1", 1e3, a="a", b="m"))
+        ckt.add(Capacitor("C1", 1e-6, a="m", b=GROUND))
+        ckt.add(Resistor("R2", 1e3, a="m", b=GROUND))
+        op = solve(ckt)
+        assert op.voltage("m") == pytest.approx(2.5, rel=1e-3)
+        assert op.current("C1") == 0.0
+
+    def test_ground_voltage_is_zero(self):
+        ckt = Circuit("g")
+        ckt.add(VoltageSource("V1", 3.0, p="a", n=GROUND))
+        ckt.add(Resistor("R1", 1e3, a="a", b=GROUND))
+        assert solve(ckt).voltage(GROUND) == 0.0
+
+
+class TestAmplifiers:
+    def test_vcvs_gain(self):
+        ckt = Circuit("amp")
+        ckt.add(VoltageSource("V1", 2.0, p="i", n=GROUND))
+        ckt.add(Amplifier("A1", 3.0, inp="i", out="o"))
+        op = solve(ckt)
+        assert op.voltage("o") == pytest.approx(6.0, rel=1e-6)
+
+    def test_cascade_matches_figure2(self):
+        from repro.circuit import amplifier_cascade
+
+        op = solve(amplifier_cascade())
+        assert op.voltage("b") == pytest.approx(3.0, rel=1e-6)
+        assert op.voltage("c") == pytest.approx(6.0, rel=1e-6)
+        assert op.voltage("d") == pytest.approx(9.0, rel=1e-6)
+
+    def test_infinite_input_impedance(self):
+        """The amplifier input draws no current from the divider."""
+        ckt = Circuit("amp-load")
+        ckt.add(VoltageSource("V1", 10.0, p="a", n=GROUND))
+        ckt.add(Resistor("R1", 1e3, a="a", b="m"))
+        ckt.add(Resistor("R2", 1e3, a="m", b=GROUND))
+        ckt.add(Amplifier("A1", 2.0, inp="m", out="o"))
+        op = solve(ckt)
+        assert op.voltage("m") == pytest.approx(5.0, rel=1e-3)
+        assert op.voltage("o") == pytest.approx(10.0, rel=1e-3)
+
+
+class TestDiodes:
+    def _diode_circuit(self, vin):
+        ckt = Circuit("d")
+        ckt.add(VoltageSource("V1", vin, p="a", n=GROUND))
+        ckt.add(Resistor("R1", 1e3, a="a", b="k"))
+        ckt.add(Diode("D1", v_on=0.7, anode="k", cathode=GROUND))
+        return ckt
+
+    def test_forward_conduction(self):
+        op = solve(self._diode_circuit(5.0))
+        assert op.state("D1") == "on"
+        assert op.voltage("k") == pytest.approx(0.7, abs=1e-6)
+        assert op.current("D1") == pytest.approx(4.3e-3, rel=1e-3)
+
+    def test_blocking_below_threshold(self):
+        op = solve(self._diode_circuit(0.5))
+        assert op.state("D1") == "off"
+        assert op.current("D1") == 0.0
+        assert op.voltage("k") == pytest.approx(0.5, rel=1e-3)
+
+    def test_reverse_blocking(self):
+        op = solve(self._diode_circuit(-5.0))
+        assert op.state("D1") == "off"
+
+
+class TestBJTs:
+    def test_three_stage_linear_region(self):
+        """The paper's claim: published values keep all three active."""
+        from repro.circuit import three_stage_amplifier
+
+        op = solve(three_stage_amplifier())
+        assert op.device_states == {"T1": "active", "T2": "active", "T3": "active"}
+        assert op.voltage("v1") == pytest.approx(1.221, abs=0.01)
+        assert op.voltage("v2") == pytest.approx(17.02, abs=0.05)
+        assert op.voltage("vs") == pytest.approx(16.32, abs=0.05)
+
+    def test_beta_relation_holds(self):
+        from repro.circuit import three_stage_amplifier
+
+        op = solve(three_stage_amplifier())
+        assert op.current("T2", "c") == pytest.approx(
+            200.0 * op.current("T2", "b"), rel=1e-6
+        )
+        assert op.current("T2", "e") == pytest.approx(
+            op.current("T2", "b") + op.current("T2", "c"), rel=1e-6
+        )
+
+    def test_cutoff(self):
+        ckt = Circuit("cutoff")
+        ckt.add(VoltageSource("Vcc", 10.0, p="vcc", n=GROUND))
+        ckt.add(Resistor("Rc", 1e3, a="vcc", b="c"))
+        ckt.add(Resistor("Rb", 100e3, a="b", b=GROUND))
+        ckt.add(BJT("T1", beta=100.0, c="c", b="b", e=GROUND))
+        op = solve(ckt)
+        assert op.state("T1") == "cutoff"
+        assert op.voltage("c") == pytest.approx(10.0, rel=1e-3)
+
+    def test_saturation(self):
+        ckt = Circuit("sat")
+        ckt.add(VoltageSource("Vcc", 5.0, p="vcc", n=GROUND))
+        ckt.add(Resistor("Rb", 10e3, a="vcc", b="b"))
+        ckt.add(Resistor("Rc", 10e3, a="vcc", b="c"))
+        ckt.add(BJT("T1", beta=100.0, c="c", b="b", e=GROUND))
+        op = solve(ckt)
+        assert op.state("T1") == "saturation"
+        assert op.voltage("c") == pytest.approx(0.2, abs=1e-6)
+
+    def test_emitter_follower(self):
+        ckt = Circuit("follower")
+        ckt.add(VoltageSource("Vcc", 10.0, p="vcc", n=GROUND))
+        ckt.add(VoltageSource("Vb", 5.0, p="b", n=GROUND))
+        ckt.add(BJT("T1", beta=100.0, c="vcc", b="b", e="e"))
+        ckt.add(Resistor("Re", 1e3, a="e", b=GROUND))
+        op = solve(ckt)
+        assert op.state("T1") == "active"
+        assert op.voltage("e") == pytest.approx(4.3, abs=1e-6)
+
+
+class TestKCLInvariant:
+    """Net current balance at the solution (physical sanity)."""
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            "three_stage_amplifier",
+            "diode_resistor_circuit",
+        ],
+    )
+    def test_kcl_at_every_net(self, builder):
+        import repro.circuit as circuit_mod
+
+        ckt = getattr(circuit_mod, builder)()
+        op = solve(ckt)
+        for net in ckt.non_ground_nets:
+            total = 0.0
+            for comp, pin in ckt.components_on(net):
+                if isinstance(comp, Resistor):
+                    current = op.current(comp.name)
+                    total += current if pin == "a" else -current
+                elif isinstance(comp, (VoltageSource,)):
+                    current = op.current(comp.name)
+                    total += current if pin == "p" else -current
+                elif isinstance(comp, Diode):
+                    current = op.current(comp.name)
+                    total += current if pin == "anode" else -current
+                elif isinstance(comp, BJT):
+                    if pin == "b":
+                        total += op.current(comp.name, "b")
+                    elif pin == "c":
+                        total += op.current(comp.name, "c")
+                    else:
+                        total -= op.current(comp.name, "e")
+            assert total == pytest.approx(0.0, abs=1e-6)
+
+
+class TestFailureModes:
+    def test_unsupported_component_kind(self):
+        from repro.circuit.netlist import Component
+
+        class Weird(Component):
+            PINS = ("a", "b")
+
+            def clone(self):
+                return self
+
+        ckt = Circuit("weird")
+        ckt.add(VoltageSource("V1", 1.0, p="a", n=GROUND))
+        ckt.add(Resistor("R1", 1e3, a="a", b=GROUND))
+        ckt.add(Weird("W1", a="a", b=GROUND))
+        with pytest.raises(SimulationError, match="Weird"):
+            solve(ckt)
+
+    def test_invalid_circuit_raises_before_solving(self):
+        ckt = Circuit("no-ground")
+        ckt.add(Resistor("R1", 1e3, a="x", b="y"))
+        ckt.add(Resistor("R2", 1e3, a="y", b="x"))
+        with pytest.raises(ValueError):
+            DCSolver(ckt)

@@ -1,0 +1,151 @@
+"""Tests for the SPICE-subset netlist reader/writer."""
+
+import pytest
+
+from repro.circuit import (
+    Amplifier,
+    BJT,
+    Capacitor,
+    CurrentSource,
+    DCSolver,
+    Diode,
+    Resistor,
+    VoltageSource,
+    three_stage_amplifier,
+)
+from repro.circuit.spice import NetlistError, parse_netlist, parse_value, write_netlist
+
+
+class TestValues:
+    @pytest.mark.parametrize(
+        "token,expected",
+        [
+            ("100", 100.0),
+            ("4.7k", 4700.0),
+            ("2meg", 2e6),
+            ("1m", 1e-3),
+            ("100u", 1e-4),
+            ("10n", 1e-8),
+            ("2.2p", 2.2e-12),
+            ("1g", 1e9),
+            ("1e3", 1000.0),
+            ("-5", -5.0),
+            ("3.3K", 3300.0),  # case-insensitive
+        ],
+    )
+    def test_suffixes(self, token, expected):
+        assert parse_value(token) == pytest.approx(expected)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_value("lots")
+        with pytest.raises(ValueError):
+            parse_value("1.2.3")
+
+    def test_unknown_suffix(self):
+        with pytest.raises(ValueError):
+            parse_value("4q")
+
+
+SAMPLE = """
+.title sample board
+* a comment line
+Vcc vcc 0 18
+R1 vcc n1 200k tol=0.05
+R3 n1 0 24k
+Q1 vcc n1 v1 300 vbe=0.7
+R2 v1 0 12k
+C1 v1 0 1u
+D1 n1 dmid von=0.6
+R9 dmid 0 5k
+E1 v1 buffered 2.0 tol=0.05
+Iload buffered 0 1m
+"""
+
+
+class TestParsing:
+    def test_full_card_set(self):
+        circuit = parse_netlist(SAMPLE)
+        assert circuit.name == "sample board"
+        kinds = {c.name: type(c) for c in circuit.components}
+        assert kinds == {
+            "Vcc": VoltageSource,
+            "R1": Resistor,
+            "R3": Resistor,
+            "Q1": BJT,
+            "R2": Resistor,
+            "C1": Capacitor,
+            "D1": Diode,
+            "R9": Resistor,
+            "E1": Amplifier,
+            "Iload": CurrentSource,
+        }
+
+    def test_parameters(self):
+        circuit = parse_netlist(SAMPLE)
+        assert circuit.component("R1").resistance == 200e3
+        assert circuit.component("R1").tolerance == 0.05
+        assert circuit.component("Q1").beta == 300.0
+        assert circuit.component("D1").v_on == pytest.approx(0.6)
+        assert circuit.component("C1").capacitance == pytest.approx(1e-6)
+        assert circuit.component("E1").gain == 2.0
+        assert circuit.component("Iload").current == pytest.approx(1e-3)
+
+    def test_wiring(self):
+        circuit = parse_netlist(SAMPLE)
+        q1 = circuit.component("Q1")
+        assert q1.net("c").name == "vcc"
+        assert q1.net("b").name == "n1"
+        assert q1.net("e").name == "v1"
+
+    def test_comments_and_blanks_ignored(self):
+        circuit = parse_netlist("* nothing\n\nV1 a 0 5\nR1 a 0 1k\n")
+        assert len(circuit.components) == 2
+
+    def test_unknown_dot_cards_ignored(self):
+        circuit = parse_netlist(".option whatever\nV1 a 0 5\nR1 a 0 1k\n")
+        assert len(circuit.components) == 2
+
+    def test_unknown_card_kind(self):
+        with pytest.raises(NetlistError, match="line 1"):
+            parse_netlist("Xsub a b weird\n")
+
+    def test_short_card(self):
+        with pytest.raises(NetlistError, match="expected"):
+            parse_netlist("R1 a 1k\n")
+
+    def test_duplicate_name(self):
+        with pytest.raises(NetlistError, match="duplicate"):
+            parse_netlist("R1 a 0 1k\nR1 b 0 2k\n")
+
+    def test_parsed_circuit_simulates(self):
+        circuit = parse_netlist(
+            ".title div\nV1 top 0 10\nR1 top mid 1k\nR2 mid 0 1k\n"
+        )
+        op = DCSolver(circuit).solve()
+        assert op.voltage("mid") == pytest.approx(5.0, rel=1e-3)
+
+
+class TestRoundTrip:
+    def test_three_stage_round_trip(self):
+        golden = three_stage_amplifier()
+        text = write_netlist(golden)
+        parsed = parse_netlist(text)
+        assert parsed.name == golden.name
+        assert [c.name for c in parsed.components] == [
+            c.name for c in golden.components
+        ]
+        op_a = DCSolver(golden).solve()
+        op_b = DCSolver(parsed).solve()
+        for net in ("v1", "v2", "vs"):
+            assert op_a.voltage(net) == pytest.approx(op_b.voltage(net), rel=1e-9)
+
+    def test_sample_round_trip_values(self):
+        circuit = parse_netlist(SAMPLE)
+        again = parse_netlist(write_netlist(circuit))
+        for a, b in zip(circuit.components, again.components):
+            assert type(a) is type(b)
+            assert a.name == b.name
+            assert {p: n.name for p, n in a.pins.items()} == {
+                p: n.name for p, n in b.pins.items()
+            }

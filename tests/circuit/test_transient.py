@@ -1,0 +1,125 @@
+"""Tests for the backward-Euler transient solver."""
+
+import math
+
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    GROUND,
+    Resistor,
+    TransientSolver,
+    VoltageSource,
+    rc_lowpass,
+    step_waveform,
+)
+
+
+def rc_circuit(r=1e3, c=1e-6):
+    ckt = Circuit("rc")
+    ckt.add(VoltageSource("Vin", 0.0, p="in", n=GROUND))
+    ckt.add(Resistor("R1", r, a="in", b="out"))
+    ckt.add(Capacitor("C1", c, a="out", b=GROUND))
+    return ckt
+
+
+class TestWaveforms:
+    def test_step(self):
+        wave = step_waveform(0.0, 5.0, at=1e-3)
+        assert wave(0.0) == 0.0
+        assert wave(1e-3) == 5.0
+        assert wave(2e-3) == 5.0
+
+
+class TestStepResponse:
+    def test_matches_analytic_rc_charge(self):
+        """v(t) = V (1 - exp(-t/RC)) within discretisation error."""
+        ckt = rc_circuit()
+        tau = 1e-3
+        solver = TransientSolver(
+            ckt, waveforms={"Vin": step_waveform(0.0, 5.0)}, dt=2e-5, initial="zero"
+        )
+        result = solver.run(5e-3)
+        for t in (5e-4, 1e-3, 2e-3, 4e-3):
+            analytic = 5.0 * (1.0 - math.exp(-t / tau))
+            assert result.voltage_at("out", t) == pytest.approx(analytic, abs=0.05)
+
+    def test_dc_initial_state_starts_settled(self):
+        """With a constant source and DC init, nothing moves."""
+        ckt = rc_circuit()
+        ckt.component("Vin").voltage = 3.0
+        result = TransientSolver(ckt, dt=1e-4, initial="dc").run(1e-3)
+        for v in result.voltage("out"):
+            assert v == pytest.approx(3.0, abs=1e-4)  # gmin leakage
+
+    def test_step_at_zero_produces_transient_from_dc_init(self):
+        """The pre-step steady state is the waveform value just before 0."""
+        ckt = rc_circuit()
+        solver = TransientSolver(
+            ckt, waveforms={"Vin": step_waveform(0.0, 5.0)}, dt=2e-5, initial="dc"
+        )
+        result = solver.run(2e-3)
+        assert result.voltage_at("out", 0.0) == pytest.approx(0.0, abs=0.2)
+        assert result.voltage_at("out", 2e-3) > 4.0
+
+    def test_monotone_charging(self):
+        ckt = rc_circuit()
+        result = TransientSolver(
+            ckt, waveforms={"Vin": step_waveform(0.0, 5.0)}, dt=5e-5, initial="zero"
+        ).run(3e-3)
+        voltages = result.voltage("out")
+        assert all(b >= a - 1e-9 for a, b in zip(voltages, voltages[1:]))
+
+    def test_capacitor_current_decays(self):
+        ckt = rc_circuit()
+        result = TransientSolver(
+            ckt, waveforms={"Vin": step_waveform(0.0, 5.0)}, dt=5e-5, initial="zero"
+        ).run(5e-3)
+        early = abs(result.points[2].current("C1"))
+        late = abs(result.points[-1].current("C1"))
+        assert early > 10 * late
+
+    def test_two_stage_ladder_second_lags_first(self):
+        golden = rc_lowpass(2)
+        result = TransientSolver(
+            golden, waveforms={"Vin": step_waveform(0.0, 5.0)}, dt=5e-5, initial="zero"
+        ).run(2e-3)
+        assert result.voltage_at("m2", 1e-3) < result.voltage_at("m1", 1e-3)
+
+    def test_source_restored_after_run(self):
+        ckt = rc_circuit()
+        original = ckt.component("Vin").voltage
+        TransientSolver(
+            ckt, waveforms={"Vin": step_waveform(0.0, 5.0)}, dt=1e-4, initial="zero"
+        ).run(1e-3)
+        assert ckt.component("Vin").voltage == original
+
+    def test_companion_elements_hidden(self):
+        ckt = rc_circuit()
+        result = TransientSolver(ckt, dt=1e-4, initial="zero").run(2e-4)
+        for op in result.points:
+            assert not any(k.startswith("__") for k in op.currents)
+
+
+class TestValidation:
+    def test_bad_dt(self):
+        with pytest.raises(ValueError):
+            TransientSolver(rc_circuit(), dt=0.0)
+
+    def test_bad_initial(self):
+        with pytest.raises(ValueError):
+            TransientSolver(rc_circuit(), initial="warm")
+
+    def test_bad_duration(self):
+        with pytest.raises(ValueError):
+            TransientSolver(rc_circuit(), dt=1e-4).run(0.0)
+
+    def test_waveform_target_must_be_source(self):
+        with pytest.raises(ValueError, match="not a voltage source"):
+            TransientSolver(rc_circuit(), waveforms={"R1": step_waveform(0, 1)})
+
+    def test_result_indexing(self):
+        result = TransientSolver(rc_circuit(), dt=1e-4, initial="zero").run(1e-3)
+        assert len(result) == 11
+        assert result.index_of(5.4e-4) == 5

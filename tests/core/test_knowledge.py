@@ -1,0 +1,193 @@
+"""Tests for the knowledge-base unit (fault modes + qualitative rules)."""
+
+import pytest
+
+from repro.circuit import (
+    DCSolver,
+    Fault,
+    FaultKind,
+    apply_fault,
+    probe_all,
+    three_stage_amplifier,
+)
+from repro.core.knowledge import (
+    KnowledgeBase,
+    QualitativeRule,
+    common_fault_modes,
+)
+from repro.fuzzy import FuzzyInterval
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return three_stage_amplifier()
+
+
+@pytest.fixture(scope="module")
+def kb(golden):
+    return KnowledgeBase(golden)
+
+
+def faulty_measurements(golden, fault, imprecision=0.02):
+    op = DCSolver(apply_fault(golden, fault)).solve()
+    return probe_all(op, ["vs", "v2", "v1"], imprecision=imprecision)
+
+
+class TestCatalogue:
+    def test_resistor_has_paper_modes(self):
+        modes = {m.name for m in common_fault_modes()["Resistor"]}
+        assert modes == {"open", "short", "high", "low"}
+
+    def test_deviation_sets_are_fuzzy(self):
+        short = next(
+            m for m in common_fault_modes()["Resistor"] if m.name == "short"
+        )
+        assert short.deviation.membership(0.0) == 1.0
+        assert short.deviation.membership(1.0) == 0.0
+
+    def test_modes_for_component(self, kb, golden):
+        assert {m.name for m in kb.modes_for(golden.component("T2"))} == {
+            "junction-open",
+            "beta-low",
+            "vbe-high",
+        }
+
+    def test_soft_modes_have_multiple_representatives(self, golden):
+        high = next(m for m in common_fault_modes()["Resistor"] if m.name == "high")
+        faults = high.faults(golden.component("R3"))
+        assert len(faults) >= 3
+        values = {f.value for f in faults}
+        assert len(values) == len(faults)
+
+
+class TestModeMatching:
+    def test_short_circuit_identified(self, kb, golden):
+        measurements = faulty_measurements(golden, Fault(FaultKind.SHORT, "R2"))
+        matches = kb.match_fault_modes(measurements, candidates=["R2"])
+        best = matches[0]
+        assert (best.component, best.mode) == ("R2", "short")
+        assert best.degree > 0.9
+
+    def test_wrong_hypotheses_score_low(self, kb, golden):
+        measurements = faulty_measurements(golden, Fault(FaultKind.SHORT, "R2"))
+        matches = kb.match_fault_modes(measurements, candidates=["R6"])
+        assert all(m.degree < 0.5 for m in matches)
+
+    def test_soft_drift_matched_by_band_mode(self, kb, golden):
+        measurements = faulty_measurements(
+            golden, Fault(FaultKind.PARAM, "R3", value=26.4e3)
+        )
+        matches = kb.match_fault_modes(measurements, candidates=["R3"])
+        best = {(m.mode): m.degree for m in matches}
+        assert best["high"] > best.get("short", 0.0)
+
+    def test_per_point_scores_recorded(self, kb, golden):
+        measurements = faulty_measurements(golden, Fault(FaultKind.SHORT, "R2"))
+        match = kb.match_fault_modes(measurements, candidates=["R2"])[0]
+        assert set(match.per_point) == {"V(vs)", "V(v2)", "V(v1)"}
+
+    def test_unknown_candidate_ignored(self, kb, golden):
+        measurements = faulty_measurements(golden, Fault(FaultKind.SHORT, "R2"))
+        assert kb.match_fault_modes(measurements, candidates=["nope"]) == []
+
+    def test_refine_weights_by_suspicion(self, kb, golden):
+        measurements = faulty_measurements(golden, Fault(FaultKind.SHORT, "R2"))
+        suspicions = {"R2": 1.0, "R1": 0.3}
+        refined = kb.refine(suspicions, measurements, top_k=10)
+        scores = {}
+        for m in refined:
+            scores[m.component] = max(scores.get(m.component, 0.0), m.degree)
+        assert scores["R2"] > scores.get("R1", 0.0)
+        # A weak suspicion caps the refinement weight.
+        assert scores.get("R1", 0.0) <= 0.3
+        # Unimplicated components are not hypothesised at all.
+        assert "R6" not in scores
+
+    def test_refine_top_k(self, kb, golden):
+        measurements = faulty_measurements(golden, Fault(FaultKind.SHORT, "R2"))
+        suspicions = {name: 1.0 for name in ("R1", "R2", "R3", "T1")}
+        assert len(kb.refine(suspicions, measurements, top_k=2)) == 2
+
+
+class TestQualitativeRules:
+    def _vbe_rule(self):
+        def condition(values):
+            vbe = values.get("V(n1)")
+            if vbe is None:
+                return 0.0
+            return 1.0 if vbe.centroid < 0.4 else 0.0
+
+        return QualitativeRule("base-starved", condition, "R1", certainty=0.8)
+
+    def test_rule_fires_with_certainty_cap(self, golden):
+        kb = KnowledgeBase(golden)
+        kb.add_rule(self._vbe_rule())
+        hits = kb.apply_rules({"V(n1)": FuzzyInterval.crisp(0.1)})
+        assert hits == {"R1": 0.8}
+
+    def test_rule_silent_when_condition_fails(self, golden):
+        kb = KnowledgeBase(golden)
+        kb.add_rule(self._vbe_rule())
+        assert kb.apply_rules({"V(n1)": FuzzyInterval.crisp(1.9)}) == {}
+
+    def test_rule_unknown_component_rejected(self, golden):
+        kb = KnowledgeBase(golden)
+        with pytest.raises(KeyError):
+            kb.add_rule(QualitativeRule("bad", lambda v: 0.0, "R99"))
+
+    def test_rule_invalid_certainty_rejected(self):
+        with pytest.raises(ValueError):
+            QualitativeRule("bad", lambda v: 0.0, "R1", certainty=0.0)
+
+    def test_rule_invalid_firing_rejected(self, golden):
+        kb = KnowledgeBase(golden)
+        kb.add_rule(QualitativeRule("broken", lambda v: 2.0, "R1"))
+        with pytest.raises(ValueError):
+            kb.apply_rules({})
+
+    def test_multiple_rules_max_combination(self, golden):
+        kb = KnowledgeBase(golden)
+        kb.add_rule(QualitativeRule("weak", lambda v: 1.0, "R1", certainty=0.3))
+        kb.add_rule(QualitativeRule("strong", lambda v: 1.0, "R1", certainty=0.9))
+        assert kb.apply_rules({}) == {"R1": 0.9}
+
+
+class TestThresholdRule:
+    def test_fires_above(self, golden):
+        from repro.core.knowledge import threshold_rule
+
+        kb = KnowledgeBase(golden)
+        kb.add_rule(threshold_rule("vbe-on", "Vbe(T1)", 0.4, "T1"))
+        hits = kb.apply_rules({"Vbe(T1)": FuzzyInterval.crisp(0.7)})
+        assert hits == {"T1": 1.0}
+
+    def test_silent_below(self, golden):
+        from repro.core.knowledge import threshold_rule
+
+        kb = KnowledgeBase(golden)
+        kb.add_rule(threshold_rule("vbe-on", "Vbe(T1)", 0.4, "T1"))
+        assert kb.apply_rules({"Vbe(T1)": FuzzyInterval.crisp(0.1)}) == {}
+
+    def test_partial_firing_near_threshold(self, golden):
+        from repro.core.knowledge import threshold_rule
+
+        kb = KnowledgeBase(golden)
+        kb.add_rule(threshold_rule("vbe-on", "Vbe(T1)", 0.4, "T1", softness=0.5))
+        hits = kb.apply_rules({"Vbe(T1)": FuzzyInterval(0.3, 0.3, 0.1, 0.1)})
+        degree = hits.get("T1", 0.0)
+        assert 0.0 < degree <= 1.0
+
+    def test_below_direction(self, golden):
+        from repro.core.knowledge import threshold_rule
+
+        kb = KnowledgeBase(golden)
+        kb.add_rule(threshold_rule("starved", "V(n1)", 0.4, "R1", above=False))
+        assert kb.apply_rules({"V(n1)": FuzzyInterval.crisp(0.1)}) == {"R1": 1.0}
+        assert kb.apply_rules({"V(n1)": FuzzyInterval.crisp(1.9)}) == {}
+
+    def test_missing_point_silent(self, golden):
+        from repro.core.knowledge import threshold_rule
+
+        kb = KnowledgeBase(golden)
+        kb.add_rule(threshold_rule("vbe-on", "Vbe(T1)", 0.4, "T1"))
+        assert kb.apply_rules({}) == {}

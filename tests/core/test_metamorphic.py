@@ -1,0 +1,112 @@
+"""Metamorphic property tests of the whole diagnosis pipeline.
+
+Randomised circuits + randomised faults, with the invariants that define
+a sound diagnoser:
+
+* a healthy unit measured anywhere yields no conflicts;
+* a hard fault measured everywhere is detected, and the injected
+  component appears among the suspects;
+* adding measurements never turns a detected fault into "healthy".
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import (
+    DCSolver,
+    Fault,
+    FaultKind,
+    apply_fault,
+    probe_all,
+    resistor_ladder,
+)
+from repro.core import Flames
+
+_SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _probes(sections):
+    return [f"n{i}" for i in range(1, sections + 1)]
+
+
+def _engine_cache():
+    cache = {}
+
+    def get(sections):
+        if sections not in cache:
+            cache[sections] = Flames(resistor_ladder(sections))
+        return cache[sections]
+
+    return get
+
+
+_get_engine = _engine_cache()
+
+
+class TestHealthyInvariant:
+    @given(sections=st.integers(min_value=1, max_value=4))
+    @settings(**_SETTINGS)
+    def test_healthy_ladder_consistent(self, sections):
+        golden = resistor_ladder(sections)
+        engine = _get_engine(sections)
+        op = DCSolver(golden).solve()
+        result = engine.diagnose(probe_all(op, _probes(sections), imprecision=0.02))
+        assert result.is_consistent
+
+
+class TestHardFaultInvariant:
+    @given(
+        sections=st.integers(min_value=1, max_value=4),
+        index=st.integers(min_value=1, max_value=4),
+        series=st.booleans(),
+        kind=st.sampled_from([FaultKind.OPEN, FaultKind.SHORT]),
+    )
+    @settings(**_SETTINGS)
+    def test_fault_detected_and_blamed(self, sections, index, series, kind):
+        index = min(index, sections)
+        name = f"{'Rs' if series else 'Rp'}{index}"
+        # A shorted series resistor in a fresh ladder barely moves anything
+        # when followed by more attenuation; opens are always dramatic.
+        golden = resistor_ladder(sections)
+        faulty = apply_fault(golden, Fault(kind, name))
+        engine = _get_engine(sections)
+        op = DCSolver(faulty).solve()
+        result = engine.diagnose(probe_all(op, _probes(sections), imprecision=0.01))
+        assert not result.is_consistent, (sections, name, kind)
+        assert result.suspicions.get(name, 0.0) > 0.0, (sections, name, kind)
+
+    @given(
+        sections=st.integers(min_value=2, max_value=4),
+        index=st.integers(min_value=1, max_value=4),
+    )
+    @settings(**_SETTINGS)
+    def test_more_probes_never_hide_a_fault(self, sections, index):
+        index = min(index, sections)
+        name = f"Rp{index}"
+        golden = resistor_ladder(sections)
+        faulty = apply_fault(golden, Fault(FaultKind.OPEN, name))
+        engine = _get_engine(sections)
+        op = DCSolver(faulty).solve()
+        probes = _probes(sections)
+        few = engine.diagnose(probe_all(op, probes[-1:], imprecision=0.01))
+        many = engine.diagnose(probe_all(op, probes, imprecision=0.01))
+        if not few.is_consistent:
+            assert not many.is_consistent
+
+    @given(sections=st.integers(min_value=1, max_value=4))
+    @settings(**_SETTINGS)
+    def test_nogood_degrees_valid(self, sections):
+        golden = resistor_ladder(sections)
+        faulty = apply_fault(golden, Fault(FaultKind.OPEN, "Rp1"))
+        engine = _get_engine(sections)
+        op = DCSolver(faulty).solve()
+        result = engine.diagnose(probe_all(op, _probes(sections), imprecision=0.01))
+        for nogood in result.nogoods:
+            assert 0.0 < nogood.degree <= 1.0
+        for _, suspicion in result.suspicions.items():
+            assert 0.0 < suspicion <= 1.0

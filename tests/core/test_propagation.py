@@ -1,0 +1,230 @@
+"""Tests for the fuzzy propagation engine."""
+
+import pytest
+
+from repro.circuit import (
+    Circuit,
+    ConstraintNetwork,
+    GROUND,
+    Resistor,
+    VoltageSource,
+    amplifier_cascade,
+    diode_resistor_circuit,
+)
+from repro.core.propagation import FuzzyPropagator, PropagatorConfig
+from repro.fuzzy import FuzzyInterval
+
+
+def divider_network(tolerance=0.05):
+    ckt = Circuit("div")
+    ckt.add(VoltageSource("Vin", 10.0, p="top", n=GROUND))
+    ckt.add(Resistor("Rt", 1e3, tolerance, a="top", b="mid"))
+    ckt.add(Resistor("Rb", 1e3, tolerance, a="mid", b=GROUND))
+    return ConstraintNetwork(ckt)
+
+
+class TestSeeding:
+    def test_ground_is_premise(self):
+        p = FuzzyPropagator(divider_network())
+        (entry,) = p.values("V(0)")
+        assert entry.source == "premise"
+        assert entry.interval.is_crisp_number
+
+    def test_other_variables_start_at_seed(self):
+        p = FuzzyPropagator(divider_network())
+        (entry,) = p.values("V(mid)")
+        assert entry.is_seed
+        assert entry.interval.support == (-60.0, 60.0)
+
+    def test_reset_restores_seeds(self):
+        p = FuzzyPropagator(divider_network())
+        p.set_value("V(mid)", FuzzyInterval.crisp(5.0))
+        p.run()
+        p.reset()
+        assert len(p.values("V(mid)")) == 1
+
+    def test_unknown_variable_rejected(self):
+        p = FuzzyPropagator(divider_network())
+        with pytest.raises(KeyError):
+            p.set_value("V(nowhere)", FuzzyInterval.crisp(0.0))
+
+
+class TestForwardPropagation:
+    def test_source_pins_top_node(self):
+        p = FuzzyPropagator(divider_network())
+        p.run()
+        best = p.best("V(top)")
+        assert best.interval.core == (10.0, 10.0)
+        assert best.environment == frozenset({"Vin"})
+
+    def test_measured_value_drives_derivations(self):
+        p = FuzzyPropagator(divider_network())
+        p.set_value("V(mid)", FuzzyInterval.crisp(5.0))
+        p.run()
+        current = p.best("I(Rb)")
+        assert current.interval.centroid == pytest.approx(5e-3, rel=0.1)
+        assert "Rb" in current.environment
+
+    def test_quiescence(self):
+        p = FuzzyPropagator(divider_network())
+        result = p.run()
+        assert result.quiescent
+        # Re-running without new information is an immediate no-op pass.
+        again = p.run()
+        assert again.quiescent
+
+    def test_derived_values_sound_for_healthy_circuit(self):
+        """Every derived entry must contain the true operating point."""
+        from repro.circuit import DCSolver
+        from repro.core.predict import variable_values
+
+        network = divider_network()
+        truth = variable_values(
+            network.circuit, DCSolver(network.circuit).solve()
+        )
+        p = FuzzyPropagator(network)
+        p.run()
+        for name, true_value in truth.items():
+            for entry in p.values(name):
+                lo, hi = entry.interval.support
+                assert lo - 1e-6 <= true_value <= hi + 1e-6, (name, entry)
+
+    def test_cascade_propagates_through_gains(self):
+        network = ConstraintNetwork(amplifier_cascade())
+        p = FuzzyPropagator(network)
+        p.run()
+        d = p.best("V(d)")
+        assert d.interval.centroid == pytest.approx(9.0, rel=0.05)
+
+
+class TestConflictDetection:
+    def test_conflicting_measurement_reported(self):
+        conflicts = []
+        p = FuzzyPropagator(divider_network(), on_conflict=conflicts.append)
+        p.set_value("V(mid)", FuzzyInterval.number(8.0, 0.01))
+        p.run()
+        assert conflicts
+        strongest = max(conflicts, key=lambda c: c.degree)
+        assert strongest.degree > 0.5
+        assert strongest.environment  # blames components, not the data
+
+    def test_consistent_measurement_quiet(self):
+        conflicts = []
+        p = FuzzyPropagator(divider_network(), on_conflict=conflicts.append)
+        p.set_value("V(mid)", FuzzyInterval.number(5.0, 0.05))
+        p.run()
+        assert all(c.degree < 0.2 for c in conflicts)
+
+    def test_conflicts_deduplicated(self):
+        p = FuzzyPropagator(divider_network())
+        p.set_value("V(mid)", FuzzyInterval.number(8.0, 0.01))
+        p.run()
+        keys = {
+            (c.variable, c.environment, round(c.degree, 2), c.direction)
+            for c in p.conflicts
+        }
+        assert len(keys) == len(p.conflicts)
+
+    def test_figure5_conflict_degrees(self):
+        network = ConstraintNetwork(
+            diode_resistor_circuit(), nominal_modes={"d1": "on"}
+        )
+        conflicts = []
+        p = FuzzyPropagator(network, on_conflict=conflicts.append)
+        p.set_value("V(vin)", FuzzyInterval.crisp(3.25))
+        p.set_value("V(n1)", FuzzyInterval.crisp(2.2))
+        p.set_value("V(n2)", FuzzyInterval.crisp(2.0))
+        p.run()
+        by_env = {}
+        for c in conflicts:
+            key = frozenset(c.environment)
+            by_env[key] = max(by_env.get(key, 0.0), c.degree)
+        assert by_env.get(frozenset({"r1", "d1"})) == pytest.approx(0.5)
+        assert by_env.get(frozenset({"r2", "d1"})) == pytest.approx(1.0)
+
+
+class TestTermination:
+    def test_step_cap_respected(self):
+        config = PropagatorConfig(max_steps=5)
+        p = FuzzyPropagator(divider_network(), config=config)
+        result = p.run()
+        assert result.steps <= 5
+
+    def test_immutable_entries_never_merge(self):
+        p = FuzzyPropagator(divider_network())
+        p.set_value("V(mid)", FuzzyInterval.number(5.0, 0.02))
+        p.run()
+        measured = [v for v in p.values("V(mid)") if v.is_measurement]
+        assert len(measured) == 1
+        assert measured[0].interval.is_close(FuzzyInterval.number(5.0, 0.02))
+
+    def test_identical_projection_skipped(self):
+        p = FuzzyPropagator(divider_network())
+        first = p.run().steps
+        # Nothing changed: the queue drains with one visit per constraint.
+        second = p.run().steps
+        assert second <= len(p.network.constraints)
+        assert first >= second
+
+    def test_value_cap_enforced(self):
+        config = PropagatorConfig(max_values_per_variable=3)
+        p = FuzzyPropagator(divider_network(), config=config)
+        p.set_value("V(mid)", FuzzyInterval.number(5.0, 0.02))
+        p.run()
+        for name in p.network.variables:
+            mutable = [
+                v
+                for v in p.values(name)
+                if v.source not in ("measurement", "premise", "prediction")
+            ]
+            assert len(mutable) <= 3
+
+
+class TestSeedTaintProvenance:
+    """Seed-descended widths are ignorance, not evidence (see values.py)."""
+
+    def test_seed_flag_set_on_seeds(self):
+        p = FuzzyPropagator(divider_network())
+        (entry,) = p.values("V(mid)")
+        assert entry.from_seed
+
+    def test_projections_from_seeds_are_tainted(self):
+        p = FuzzyPropagator(divider_network())
+        p.run()
+        # Some derived entries descend from seeds (e.g. currents computed
+        # from the seeded mid-node voltage before measurements arrive).
+        tainted = [
+            v
+            for name in p.network.variables
+            for v in p.values(name)
+            if v.from_seed and not v.is_seed
+        ]
+        assert tainted
+
+    def test_measurement_chains_are_untainted(self):
+        p = FuzzyPropagator(divider_network())
+        p.set_value("V(mid)", FuzzyInterval.crisp(5.0))
+        p.run()
+        currents = [v for v in p.values("I(Rb)") if not v.is_seed]
+        assert any(not v.from_seed for v in currents)
+
+    def test_tainted_values_never_conflict(self):
+        conflicts = []
+        p = FuzzyPropagator(divider_network(), on_conflict=conflicts.append)
+        p.set_value("V(mid)", FuzzyInterval.number(8.0, 0.01))
+        p.run()
+        for conflict in conflicts:
+            assert not conflict.newer.from_seed
+            assert not conflict.older.from_seed
+
+    def test_intersection_with_untainted_clears_taint(self):
+        from repro.core.values import FuzzyValue
+
+        tainted = FuzzyValue(
+            FuzzyInterval(0.0, 10.0), frozenset({"a"}), 1.0, "c", from_seed=True
+        )
+        clean = FuzzyValue(
+            FuzzyInterval(4.0, 6.0), frozenset({"a"}), 1.0, "c", from_seed=False
+        )
+        # The merge rule: from_seed = existing.from_seed and new.from_seed.
+        assert (tainted.from_seed and clean.from_seed) is False

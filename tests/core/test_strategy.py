@@ -1,0 +1,126 @@
+"""Tests for fuzzy-entropy best-test selection."""
+
+import pytest
+
+from repro.circuit import (
+    DCSolver,
+    Fault,
+    FaultKind,
+    apply_fault,
+    probe_all,
+    three_stage_amplifier,
+)
+from repro.core import Flames
+from repro.core.strategy import BestTestPlanner
+from repro.fuzzy.linguistic import faultiness_scale
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return Flames(three_stage_amplifier())
+
+
+@pytest.fixture(scope="module")
+def faulty_result(engine):
+    golden = three_stage_amplifier()
+    op = DCSolver(apply_fault(golden, Fault(FaultKind.SHORT, "R2"))).solve()
+    return engine.diagnose(probe_all(op, ["vs", "v2", "v1"], imprecision=0.02))
+
+
+@pytest.fixture(scope="module")
+def healthy_result(engine):
+    op = DCSolver(three_stage_amplifier()).solve()
+    return engine.diagnose(probe_all(op, ["vs", "v2", "v1"], imprecision=0.02))
+
+
+class TestEstimations:
+    def test_every_component_estimated(self, engine, faulty_result):
+        planner = BestTestPlanner(engine)
+        estimations = planner.estimations(faulty_result)
+        assert set(estimations) == {c.name for c in engine.circuit.components}
+
+    def test_suspects_estimated_faulty_side(self, engine, faulty_result):
+        planner = BestTestPlanner(engine)
+        estimations = planner.estimations(faulty_result)
+        assert estimations["R2"].centroid > estimations["R6"].centroid
+
+    def test_entropy_measures_estimation_uncertainty(
+        self, engine, faulty_result, healthy_result
+    ):
+        """Certainty of *either* kind beats an all-unknown system.
+
+        The fuzzy entropy scores how undecided the faultiness
+        estimations are: a healthy unit (everything classified correct)
+        and a well-localised fault both sit far below the hypothetical
+        all-unknown state.
+        """
+        from repro.fuzzy import fuzzy_entropy
+        from repro.fuzzy.linguistic import FAULTINESS_5
+
+        planner = BestTestPlanner(engine)
+        n = len(engine.circuit.components)
+        unknown = fuzzy_entropy([FAULTINESS_5.term("unknown").value] * n)
+        assert planner.system_entropy(healthy_result).centroid < unknown.centroid
+        assert planner.system_entropy(faulty_result).centroid < unknown.centroid
+
+
+class TestRecommendation:
+    def test_candidates_exclude_measured(self, engine, faulty_result):
+        planner = BestTestPlanner(engine)
+        points = planner.candidate_points(faulty_result)
+        assert "V(vs)" not in points
+        assert "V(n1)" in points
+
+    def test_available_pool_respected(self, engine, faulty_result):
+        planner = BestTestPlanner(engine)
+        ranked = planner.recommend(faulty_result, available=["V(n1)", "V(n2)"])
+        assert {r.point for r in ranked} == {"V(n1)", "V(n2)"}
+
+    def test_ranking_sorted_by_expected_entropy(self, engine, faulty_result):
+        planner = BestTestPlanner(engine)
+        ranked = planner.recommend(faulty_result)
+        scores = [r.score for r in ranked]
+        assert scores == sorted(scores)
+
+    def test_recommends_discriminating_probe(self, engine, faulty_result):
+        """The planner prefers an internal stage node over the supply."""
+        planner = BestTestPlanner(engine)
+        best = planner.best(faulty_result)
+        assert best.point in ("V(n1)", "V(n2)")
+
+    def test_stage1_bias_node_ranks_first(self, engine, faulty_result):
+        """With stage 1 suspect, its bias node is the most informative."""
+        planner = BestTestPlanner(engine)
+        ranked = planner.recommend(
+            faulty_result, available=["V(n1)", "V(n2)", "V(vcc)"]
+        )
+        assert ranked[0].point == "V(n1)"
+
+    def test_supply_probe_has_narrow_support(self, engine, faulty_result):
+        """V(vcc) is supported by the source alone."""
+        planner = BestTestPlanner(engine)
+        ranked = {r.point: r for r in planner.recommend(faulty_result)}
+        assert ranked["V(vcc)"].supporters == frozenset({"Vcc"})
+
+    def test_no_candidates_returns_none(self, engine, faulty_result):
+        planner = BestTestPlanner(engine)
+        assert planner.best(faulty_result, available=[]) is None
+
+    def test_conflict_weight_tracks_suspicion(
+        self, engine, faulty_result, healthy_result
+    ):
+        """Probes over suspect supporters expect conflicts; a healthy
+        unit's probes expect none."""
+        planner = BestTestPlanner(engine)
+        faulty_rec = {r.point: r for r in planner.recommend(faulty_result)}
+        healthy_rec = {r.point: r for r in planner.recommend(healthy_result)}
+        assert (
+            faulty_rec["V(n1)"].conflict_weight.centroid
+            > healthy_rec["V(n1)"].conflict_weight.centroid
+        )
+
+    def test_granularity_configurable(self, engine, faulty_result):
+        coarse = BestTestPlanner(engine, scale=faultiness_scale(3))
+        fine = BestTestPlanner(engine, scale=faultiness_scale(9))
+        assert coarse.best(faulty_result) is not None
+        assert fine.best(faulty_result) is not None

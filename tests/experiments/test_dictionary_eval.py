@@ -1,0 +1,33 @@
+"""Tests for the dictionary-vs-FLAMES experiment."""
+
+import pytest
+
+from repro.experiments import format_dictionary_eval, run_dictionary_eval
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_dictionary_eval()
+
+
+class TestDictionaryEval:
+    def test_four_defect_classes(self, rows):
+        assert len(rows) == 4
+
+    def test_tabulated_fault_both_succeed(self, rows):
+        row = rows[0]
+        assert row.dictionary_correct and row.flames_covers
+
+    def test_novel_drift_dictionary_fails_flames_covers(self, rows):
+        row = next(r for r in rows if "novel" in r.label)
+        assert not row.dictionary_correct
+        assert row.flames_covers
+
+    def test_double_fault_only_flames_names_pair(self, rows):
+        row = next(r for r in rows if "double" in r.label)
+        assert not row.dictionary_correct
+        assert row.flames_covers
+
+    def test_format(self, rows):
+        text = format_dictionary_eval(rows)
+        assert "dictionary says" in text

@@ -1,0 +1,25 @@
+"""Tests for the dynamic-mode experiment."""
+
+import pytest
+
+from repro.experiments.dynamic_eval import format_dynamic_eval, run_dynamic_eval
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_dynamic_eval()
+
+
+class TestDynamicEval:
+    def test_static_is_blind(self, rows):
+        assert all(not r.static_detects for r in rows)
+
+    def test_dynamic_detects_everything(self, rows):
+        assert all(r.dynamic_detects for r in rows)
+
+    def test_culprits_blamed(self, rows):
+        assert all(r.culprit_blamed for r in rows)
+
+    def test_format(self, rows):
+        text = format_dynamic_eval(rows)
+        assert "NO (blind)" in text

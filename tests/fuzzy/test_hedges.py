@@ -1,0 +1,111 @@
+"""Tests for linguistic hedges."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fuzzy import FuzzyInterval
+from repro.fuzzy.hedges import about, concentrate, dilate, roughly, somewhat, very
+
+
+@pytest.fixture()
+def base():
+    return FuzzyInterval(4.0, 6.0, 1.0, 2.0)
+
+
+class TestConcentration:
+    def test_very_is_contained(self, base):
+        assert base.contains(very(base))
+
+    def test_core_preserved(self, base):
+        assert very(base).core == base.core
+
+    def test_half_cut_matches_exact_transform(self, base):
+        hedged = very(base)
+        # Exact: mu^2 = 0.5 at mu = sqrt(0.5); on the left slope that is
+        # at x = m1 - alpha*(1 - sqrt(0.5)).
+        exact_x = base.m1 - base.alpha * (1.0 - 0.5**0.5)
+        lo, _ = hedged.alpha_cut(0.5)
+        assert lo == pytest.approx(exact_x)
+
+    def test_power_must_exceed_one(self, base):
+        with pytest.raises(ValueError):
+            concentrate(base, 1.0)
+
+    def test_stronger_power_narrower(self, base):
+        assert concentrate(base, 3.0).width < concentrate(base, 2.0).width
+
+
+class TestDilation:
+    def test_somewhat_contains_original(self, base):
+        assert somewhat(base).contains(base)
+
+    def test_core_preserved(self, base):
+        assert somewhat(base).core == base.core
+
+    def test_power_must_exceed_one(self, base):
+        with pytest.raises(ValueError):
+            dilate(base, 0.5)
+
+    def test_somewhat_very_roundtrip_contains(self, base):
+        """Hedging there and back keeps the original inside."""
+        assert somewhat(very(base)).contains(very(base))
+
+
+class TestRoughly:
+    def test_widens_core_and_slopes(self, base):
+        hedged = roughly(base)
+        assert hedged.m1 < base.m1
+        assert hedged.m2 > base.m2
+        assert hedged.contains(base)
+
+    def test_negative_widen_rejected(self, base):
+        with pytest.raises(ValueError):
+            roughly(base, widen=-0.1)
+
+    def test_point_value_becomes_interval(self):
+        hedged = roughly(FuzzyInterval.crisp(5.0))
+        assert hedged.width > 0.0
+
+
+class TestAbout:
+    def test_spread_scales_with_magnitude(self):
+        assert about(100.0).alpha == pytest.approx(10.0)
+        assert about(1.0).alpha == pytest.approx(0.1)
+
+    def test_zero_gets_absolute_spread(self):
+        assert about(0.0).width > 0.0
+
+    def test_membership_peaks_at_value(self):
+        assert about(6.0).membership(6.0) == 1.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            about(1.0, spread_fraction=0.0)
+
+
+@st.composite
+def trapezoids(draw):
+    m1 = draw(st.floats(min_value=-20, max_value=20, allow_nan=False))
+    m2 = draw(st.floats(min_value=m1, max_value=21, allow_nan=False))
+    alpha = draw(st.floats(min_value=0.01, max_value=5, allow_nan=False))
+    beta = draw(st.floats(min_value=0.01, max_value=5, allow_nan=False))
+    return FuzzyInterval(m1, m2, alpha, beta)
+
+
+class TestHedgeProperties:
+    @given(trapezoids())
+    def test_very_concentrates(self, value):
+        assert value.contains(very(value))
+
+    @given(trapezoids())
+    def test_somewhat_dilates(self, value):
+        assert somewhat(value).contains(value)
+
+    @given(trapezoids(), st.floats(min_value=-25, max_value=25, allow_nan=False))
+    def test_very_membership_never_higher(self, value, x):
+        assert very(value).membership(x) <= value.membership(x) + 1e-9
+
+    @given(trapezoids(), st.floats(min_value=-25, max_value=25, allow_nan=False))
+    def test_somewhat_membership_never_lower(self, value, x):
+        assert somewhat(value).membership(x) >= value.membership(x) - 1e-9

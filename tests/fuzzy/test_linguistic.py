@@ -1,0 +1,89 @@
+"""Tests for linguistic faultiness estimations (section 8.1)."""
+
+import pytest
+
+from repro.fuzzy import FuzzyInterval, faultiness_scale
+from repro.fuzzy.linguistic import FAULTINESS_5, LinguisticTerm, LinguisticVariable
+
+
+class TestPaperAnchors:
+    """The two terms whose definitions the paper publishes verbatim."""
+
+    def test_correct_term(self):
+        assert FAULTINESS_5.term("correct").value.as_tuple() == (0.0, 0.05, 0.0, 0.05)
+
+    def test_likely_correct_term(self):
+        assert FAULTINESS_5.term("likely correct").value.as_tuple() == (
+            0.18,
+            0.34,
+            0.02,
+            0.06,
+        )
+
+
+class TestScale:
+    def test_five_terms_in_default_scale(self):
+        assert len(FAULTINESS_5.terms) == 5
+
+    def test_classify_extremes(self):
+        assert FAULTINESS_5.classify(0.01) == "correct"
+        assert FAULTINESS_5.classify(0.99) == "faulty"
+        assert FAULTINESS_5.classify(0.5) == "unknown"
+
+    def test_classify_rejects_out_of_domain(self):
+        with pytest.raises(ValueError):
+            FAULTINESS_5.classify(1.5)
+
+    def test_scale_covers_most_of_unit_interval(self):
+        """The published anchors leave small gaps; coverage stays above 85 %."""
+        covered = sum(
+            1
+            for i in range(101)
+            if max(FAULTINESS_5.memberships(i / 100.0).values()) > 0.0
+        )
+        assert covered >= 86
+
+    def test_classify_falls_back_to_nearest_term_in_gaps(self):
+        # 0.13 sits in the (0.10, 0.16) gap between the two published anchors.
+        assert FAULTINESS_5.classify(0.13) in ("correct", "likely correct")
+
+    def test_match_fuzzy_estimation(self):
+        almost_faulty = FuzzyInterval(0.9, 0.95, 0.05, 0.05)
+        assert FAULTINESS_5.match(almost_faulty) == "faulty"
+
+    def test_match_mid_estimation(self):
+        assert FAULTINESS_5.match(FuzzyInterval(0.5, 0.5, 0.05, 0.05)) == "unknown"
+
+    def test_granularity_must_be_odd(self):
+        with pytest.raises(ValueError):
+            faultiness_scale(4)
+        with pytest.raises(ValueError):
+            faultiness_scale(1)
+
+    def test_custom_granularity_builds_cover(self):
+        scale = faultiness_scale(7)
+        assert len(scale.terms) == 7
+        for i in range(101):
+            assert max(scale.memberships(i / 100.0).values()) > 0.0
+
+    def test_granularity_five_is_the_paper_scale(self):
+        assert faultiness_scale(5) is FAULTINESS_5
+
+
+class TestLinguisticVariable:
+    def test_unknown_term_raises(self):
+        with pytest.raises(KeyError):
+            FAULTINESS_5.term("implausible")
+
+    def test_contains(self):
+        assert "correct" in FAULTINESS_5
+        assert "bogus" not in FAULTINESS_5
+
+    def test_duplicate_names_rejected(self):
+        t = LinguisticTerm("x", FuzzyInterval.crisp_interval(0.0, 1.0))
+        with pytest.raises(ValueError):
+            LinguisticVariable("v", (0.0, 1.0), [t, t])
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            LinguisticVariable("v", (1.0, 1.0), [])

@@ -1,0 +1,90 @@
+"""Tests for fuzzy connectives."""
+
+import pytest
+
+from repro.fuzzy.logic import (
+    S_NORMS,
+    T_NORMS,
+    fold,
+    implication_goedel,
+    implication_kleene_dienes,
+    implication_lukasiewicz,
+    negation,
+    s_norm_lukasiewicz,
+    s_norm_max,
+    s_norm_probabilistic,
+    t_norm_lukasiewicz,
+    t_norm_min,
+    t_norm_product,
+)
+
+
+class TestTNorms:
+    @pytest.mark.parametrize("name,norm", sorted(T_NORMS.items()))
+    def test_boundary_conditions(self, name, norm):
+        for a in (0.0, 0.3, 0.7, 1.0):
+            assert norm(a, 1.0) == pytest.approx(a)
+            assert norm(1.0, a) == pytest.approx(a)
+            assert norm(a, 0.0) == pytest.approx(0.0)
+
+    @pytest.mark.parametrize("name,norm", sorted(T_NORMS.items()))
+    def test_commutative(self, name, norm):
+        assert norm(0.3, 0.8) == pytest.approx(norm(0.8, 0.3))
+
+    @pytest.mark.parametrize("name,norm", sorted(T_NORMS.items()))
+    def test_monotone(self, name, norm):
+        assert norm(0.2, 0.5) <= norm(0.4, 0.5) + 1e-12
+
+    def test_min_dominates_product_dominates_lukasiewicz(self):
+        a, b = 0.6, 0.7
+        assert t_norm_min(a, b) >= t_norm_product(a, b) >= t_norm_lukasiewicz(a, b)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            t_norm_min(1.2, 0.5)
+        with pytest.raises(ValueError):
+            t_norm_product(0.5, -0.1)
+
+
+class TestSNorms:
+    @pytest.mark.parametrize("name,norm", sorted(S_NORMS.items()))
+    def test_boundary_conditions(self, name, norm):
+        for a in (0.0, 0.3, 0.7, 1.0):
+            assert norm(a, 0.0) == pytest.approx(a)
+            assert norm(0.0, a) == pytest.approx(a)
+            assert norm(a, 1.0) == pytest.approx(1.0)
+
+    def test_max_dominated_by_probabilistic_and_bounded(self):
+        a, b = 0.6, 0.7
+        assert s_norm_max(a, b) <= s_norm_probabilistic(a, b) <= s_norm_lukasiewicz(a, b)
+
+
+class TestNegationAndImplication:
+    def test_negation_involutive(self):
+        for a in (0.0, 0.25, 0.5, 1.0):
+            assert negation(negation(a)) == pytest.approx(a)
+
+    def test_kleene_dienes(self):
+        assert implication_kleene_dienes(1.0, 0.3) == pytest.approx(0.3)
+        assert implication_kleene_dienes(0.0, 0.3) == pytest.approx(1.0)
+
+    def test_lukasiewicz_implication(self):
+        assert implication_lukasiewicz(0.7, 0.4) == pytest.approx(0.7)
+        assert implication_lukasiewicz(0.3, 0.4) == pytest.approx(1.0)
+
+    def test_goedel_implication(self):
+        assert implication_goedel(0.3, 0.4) == 1.0
+        assert implication_goedel(0.8, 0.4) == 0.4
+
+
+class TestFold:
+    def test_fold_t_norm_over_many(self):
+        assert fold(t_norm_min, [0.9, 0.5, 0.7], empty=1.0) == pytest.approx(0.5)
+
+    def test_fold_empty_returns_neutral(self):
+        assert fold(t_norm_min, [], empty=1.0) == 1.0
+        assert fold(s_norm_max, [], empty=0.0) == 0.0
+
+    def test_fold_product_associates(self):
+        degrees = [0.9, 0.8, 0.5]
+        assert fold(t_norm_product, degrees, empty=1.0) == pytest.approx(0.36)

@@ -1,0 +1,72 @@
+"""Tests for defuzzification helpers."""
+
+import pytest
+
+from repro.fuzzy import FuzzyInterval
+from repro.fuzzy.membership import (
+    breakpoints,
+    defuzzify_bisector,
+    defuzzify_centroid,
+    defuzzify_mean_of_max,
+    sample_membership,
+)
+
+
+class TestDefuzzification:
+    def test_centroid_delegates(self):
+        v = FuzzyInterval(1.0, 3.0, 1.0, 1.0)
+        assert defuzzify_centroid(v) == pytest.approx(v.centroid)
+
+    def test_mean_of_max(self):
+        v = FuzzyInterval(1.0, 3.0, 0.5, 2.0)
+        assert defuzzify_mean_of_max(v) == pytest.approx(2.0)
+
+    def test_bisector_symmetric_equals_centre(self):
+        v = FuzzyInterval(1.0, 3.0, 1.0, 1.0)
+        assert defuzzify_bisector(v) == pytest.approx(2.0)
+
+    def test_bisector_of_point(self):
+        assert defuzzify_bisector(FuzzyInterval.crisp(4.0)) == 4.0
+
+    def test_bisector_skewed(self):
+        # Right triangle on [0, 2]: area 1, half-area at x where x - x^2/4 = 0.5
+        v = FuzzyInterval(0.0, 0.0, 0.0, 2.0)
+        x = defuzzify_bisector(v)
+        area_left = x - x * x / 4.0
+        assert area_left == pytest.approx(0.5 * v.area, abs=1e-6)
+
+    def test_bisector_of_crisp_interval(self):
+        v = FuzzyInterval.crisp_interval(2.0, 6.0)
+        assert defuzzify_bisector(v) == pytest.approx(4.0)
+
+    def test_all_defuzzifiers_agree_on_symmetric(self):
+        v = FuzzyInterval(4.0, 6.0, 1.0, 1.0)
+        assert defuzzify_centroid(v) == pytest.approx(5.0)
+        assert defuzzify_mean_of_max(v) == pytest.approx(5.0)
+        assert defuzzify_bisector(v) == pytest.approx(5.0)
+
+
+class TestSampling:
+    def test_sample_count_and_range(self):
+        v = FuzzyInterval(1.0, 2.0, 0.5, 0.5)
+        pts = sample_membership(v, n=11)
+        assert len(pts) == 11
+        assert pts[0][0] == pytest.approx(0.5)
+        assert pts[-1][0] == pytest.approx(2.5)
+
+    def test_sample_memberships_match_formula(self):
+        v = FuzzyInterval(1.0, 2.0, 0.5, 0.5)
+        for x, mu in sample_membership(v, n=21):
+            assert mu == pytest.approx(v.membership(x))
+
+    def test_sample_degenerate_support(self):
+        pts = sample_membership(FuzzyInterval.crisp(3.0))
+        assert pts == [(3.0, 1.0)]
+
+    def test_sample_requires_two_points(self):
+        with pytest.raises(ValueError):
+            sample_membership(FuzzyInterval(1.0, 2.0), n=1)
+
+    def test_breakpoints_sorted_unique(self):
+        v = FuzzyInterval(1.0, 2.0, 0.5, 0.0)
+        assert list(breakpoints(v)) == [0.5, 1.0, 2.0]

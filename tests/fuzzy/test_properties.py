@@ -1,0 +1,194 @@
+"""Property-based tests (hypothesis) for the fuzzy-arithmetic invariants.
+
+These pin down the algebra FLAMES relies on: commutativity/associativity
+of the LR arithmetic, membership/cut coherence, Dc bounds and
+monotonicity, and entropy bounds.
+"""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.fuzzy import FuzzyInterval, consistency, possibility
+from repro.fuzzy.entropy import entropy_term, fuzzy_entropy
+
+_coords = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+_widths = st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def fuzzy_intervals(draw, lo=-50.0, hi=50.0):
+    m1 = draw(st.floats(min_value=lo, max_value=hi, allow_nan=False))
+    m2 = draw(st.floats(min_value=m1, max_value=hi, allow_nan=False))
+    alpha = draw(_widths)
+    beta = draw(_widths)
+    return FuzzyInterval(m1, m2, alpha, beta)
+
+
+@st.composite
+def positive_fuzzy_intervals(draw):
+    m1 = draw(st.floats(min_value=0.5, max_value=50.0, allow_nan=False))
+    m2 = draw(st.floats(min_value=m1, max_value=60.0, allow_nan=False))
+    alpha = draw(st.floats(min_value=0.0, max_value=0.4, allow_nan=False))
+    beta = draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+    return FuzzyInterval(m1, m2, alpha, beta)
+
+
+@st.composite
+def unit_fuzzy_numbers(draw):
+    m = draw(st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+    alpha = draw(st.floats(min_value=0.0, max_value=0.2, allow_nan=False))
+    beta = draw(st.floats(min_value=0.0, max_value=0.2, allow_nan=False))
+    return FuzzyInterval(m, m, alpha, beta)
+
+
+class TestArithmeticAlgebra:
+    @given(fuzzy_intervals(), fuzzy_intervals())
+    def test_addition_commutes(self, a, b):
+        assert (a + b).is_close(b + a, tol=1e-6)
+
+    @given(fuzzy_intervals(), fuzzy_intervals(), fuzzy_intervals())
+    def test_addition_associates(self, a, b, c):
+        assert ((a + b) + c).is_close(a + (b + c), tol=1e-6)
+
+    @given(fuzzy_intervals())
+    def test_additive_identity(self, a):
+        assert (a + FuzzyInterval.crisp(0.0)).is_close(a)
+
+    @given(fuzzy_intervals())
+    def test_double_negation(self, a):
+        assert (-(-a)).is_close(a)
+
+    @given(fuzzy_intervals(), fuzzy_intervals())
+    def test_subtraction_is_addition_of_negation(self, a, b):
+        assert (a - b).is_close(a + (-b), tol=1e-6)
+
+    @given(fuzzy_intervals(), fuzzy_intervals())
+    def test_multiplication_commutes(self, a, b):
+        assert (a * b).is_close(b * a, tol=1e-6)
+
+    @given(fuzzy_intervals())
+    def test_multiplicative_identity(self, a):
+        assert (a * FuzzyInterval.crisp(1.0)).is_close(a, tol=1e-9)
+
+    @given(positive_fuzzy_intervals(), positive_fuzzy_intervals())
+    def test_division_inverts_multiplication_core(self, a, b):
+        """Core of (a*b)/b contains the core of a (interval arithmetic widens)."""
+        q = (a * b) / b
+        assert q.m1 <= a.m1 + 1e-6
+        assert q.m2 >= a.m2 - 1e-6
+
+    @given(fuzzy_intervals(), st.floats(min_value=-5.0, max_value=5.0, allow_nan=False))
+    def test_scale_matches_crisp_multiplication(self, a, k):
+        assert a.scale(k).is_close(a * FuzzyInterval.crisp(k), tol=1e-6)
+
+    @given(fuzzy_intervals(), fuzzy_intervals())
+    def test_sum_support_is_minkowski(self, a, b):
+        s = a + b
+        assert math.isclose(s.support[0], a.support[0] + b.support[0], rel_tol=1e-9, abs_tol=1e-9)
+        assert math.isclose(s.support[1], a.support[1] + b.support[1], rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestShapeInvariants:
+    @given(fuzzy_intervals())
+    def test_support_contains_core(self, a):
+        assert a.support[0] <= a.core[0] <= a.core[1] <= a.support[1]
+
+    @given(fuzzy_intervals(), st.floats(min_value=-100.0, max_value=100.0, allow_nan=False))
+    def test_membership_in_unit_interval(self, a, x):
+        assert 0.0 <= a.membership(x) <= 1.0
+
+    @given(fuzzy_intervals(), st.floats(min_value=0.01, max_value=1.0))
+    def test_alpha_cuts_nested(self, a, level):
+        lo_hi = a.alpha_cut(level)
+        full = a.alpha_cut(1.0)
+        assert lo_hi[0] <= full[0] + 1e-9
+        assert lo_hi[1] >= full[1] - 1e-9
+
+    @given(fuzzy_intervals())
+    def test_area_non_negative(self, a):
+        assert a.area >= 0.0
+
+    @given(fuzzy_intervals())
+    def test_centroid_within_support(self, a):
+        lo, hi = a.support
+        assert lo - 1e-9 <= a.centroid <= hi + 1e-9
+
+    @given(fuzzy_intervals(), fuzzy_intervals())
+    def test_union_hull_contains_both(self, a, b):
+        u = a.union_hull(b)
+        assert u.contains(a)
+        assert u.contains(b)
+
+
+class TestConsistencyProperties:
+    @given(fuzzy_intervals(), fuzzy_intervals())
+    def test_degree_in_unit_interval(self, vm, vn):
+        c = consistency(vm, vn)
+        assert 0.0 <= c.degree <= 1.0
+
+    @given(fuzzy_intervals(lo=-5.0, hi=5.0))
+    def test_included_measurement_fully_consistent(self, vn):
+        # Shrink the nominal value to build a measurement it must contain.
+        vm = FuzzyInterval.from_support_core(
+            vn.support, (0.5 * (vn.m1 + vn.m2), 0.5 * (vn.m1 + vn.m2))
+        )
+        assert consistency(vm, vn).degree == 1.0
+
+    @given(fuzzy_intervals())
+    def test_self_consistency(self, v):
+        assert consistency(v, v).degree == 1.0
+
+    @given(fuzzy_intervals(), fuzzy_intervals())
+    def test_disjoint_supports_zero_degree(self, vm, vn):
+        assume(not vm.overlaps(vn))
+        c = consistency(vm, vn)
+        assert c.degree == 0.0
+        assert c.direction != 0
+
+    @given(fuzzy_intervals(), fuzzy_intervals())
+    def test_intersection_area_symmetric(self, a, b):
+        left = a.intersection_area(b)
+        right = b.intersection_area(a)
+        assert math.isclose(left, right, rel_tol=1e-6, abs_tol=1e-6)
+
+    @given(fuzzy_intervals(), fuzzy_intervals())
+    def test_intersection_area_bounded(self, a, b):
+        inter = a.intersection_area(b)
+        assert inter <= min(a.area, b.area) + 1e-6
+
+    @given(fuzzy_intervals(), fuzzy_intervals())
+    def test_possibility_bounds(self, a, b):
+        assert 0.0 <= possibility(a, b) <= 1.0
+
+    @given(fuzzy_intervals(), fuzzy_intervals())
+    @settings(max_examples=50)
+    def test_possibility_dominates_sampled_min(self, a, b):
+        pi = possibility(a, b)
+        lo = min(a.support[0], b.support[0])
+        hi = max(a.support[1], b.support[1])
+        if hi == lo:
+            return
+        for i in range(40):
+            x = lo + (hi - lo) * i / 39.0
+            assert min(a.membership(x), b.membership(x)) <= pi + 1e-6
+
+
+class TestEntropyProperties:
+    @given(st.lists(unit_fuzzy_numbers(), max_size=6))
+    def test_entropy_support_non_negative(self, estimations):
+        ent = fuzzy_entropy(estimations)
+        assert ent.support[0] >= -1e-9
+
+    @given(unit_fuzzy_numbers())
+    def test_entropy_term_bounded_by_peak(self, fi):
+        peak = -(1 / math.e) * math.log2(1 / math.e)
+        term = entropy_term(fi)
+        assert term.support[1] <= peak + 1e-9
+
+    @given(st.lists(unit_fuzzy_numbers(), min_size=1, max_size=5))
+    def test_entropy_grows_with_extra_uncertain_component(self, estimations):
+        base = fuzzy_entropy(estimations)
+        more = fuzzy_entropy(estimations + [FuzzyInterval.crisp(0.5)])
+        assert more.centroid >= base.centroid - 1e-9

@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture()
+def divider_netlist(tmp_path):
+    path = tmp_path / "divider.cir"
+    path.write_text(
+        ".title cli divider\n"
+        "Vin top 0 12\n"
+        "Rtop top mid 10k tol=0.05\n"
+        "Rbot mid 0 10k tol=0.05\n"
+    )
+    return str(path)
+
+
+class TestSimulate:
+    def test_prints_operating_point(self, divider_netlist, capsys):
+        assert main(["simulate", divider_netlist]) == 0
+        out = capsys.readouterr().out
+        assert "V(mid)" in out
+        assert "V(top) = 12" in out
+
+
+class TestDiagnose:
+    def test_healthy_exit_zero(self, divider_netlist, capsys):
+        code = main(["diagnose", divider_netlist, "--probe", "mid=6.0"])
+        assert code == 0
+        assert "behaves nominally" in capsys.readouterr().out
+
+    def test_faulty_exit_one_with_candidates(self, divider_netlist, capsys):
+        code = main(["diagnose", divider_netlist, "--probe", "mid=7.0"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "minimal candidates" in out
+        assert "fault-mode refinement" in out
+
+    def test_no_refine_flag(self, divider_netlist, capsys):
+        main(["diagnose", divider_netlist, "--probe", "mid=7.0", "--no-refine"])
+        assert "fault-mode refinement" not in capsys.readouterr().out
+
+    def test_bad_probe_spec(self, divider_netlist):
+        with pytest.raises(SystemExit):
+            main(["diagnose", divider_netlist, "--probe", "mid"])
+
+
+class TestTables:
+    def test_single_table(self, capsys):
+        assert main(["tables", "figure2"]) == 0
+        assert "masking demonstration" in capsys.readouterr().out
+
+    def test_unknown_table(self, capsys):
+        assert main(["tables", "figure99"]) == 2
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "short R2" in out
+        assert "minimal candidates" in out
