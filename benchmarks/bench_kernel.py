@@ -5,7 +5,6 @@ interval arithmetic, Dc evaluation, ATMS label propagation, weighted
 hitting sets, the DC simulator and one full diagnosis cycle.
 """
 
-import pytest
 
 from repro.atms import ATMS, Environment, minimal_diagnoses
 from repro.atms.assumptions import Assumption

@@ -1,0 +1,148 @@
+"""Fleet-service throughput benchmarks.
+
+A repair-shop workload on the paper's three-stage amplifier: N seeded
+faulty units (a few distinct defects, each recurring — the common case)
+pushed through the :class:`~repro.service.FleetEngine`.  Reported:
+
+* worker scaling — wall-clock and units/s at workers in {1, 4, 8}
+  over a process pool (diagnosis is pure CPU);
+* cache-hit speedup — a cold pass (every distinct defect pays one full
+  fuzzy-propagation pass, repeats replay in-batch) against a warm
+  second pass (everything replays from the content-addressed cache).
+
+The worker-scaling *assertion* (workers=4 beats workers=1) needs real
+parallel hardware; on a single-CPU box a CPU-bound fleet cannot speed
+up, so the check is skipped there while the table is still emitted.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.circuit.faults import Fault, FaultKind, apply_fault
+from repro.circuit.library import three_stage_amplifier
+from repro.circuit.measurements import probe_all
+from repro.circuit.simulate import DCSolver
+from repro.service import DiagnosisJob, FleetEngine
+
+PROBES = ("vs", "v2", "v1")
+
+#: The shop's recurring defects: distinct faults on the golden design.
+FAULTS = [
+    Fault(FaultKind.SHORT, "R2"),
+    Fault(FaultKind.OPEN, "R3"),
+    Fault(FaultKind.PARAM, "R2", parameter="resistance", value=12.18e3),
+    Fault(FaultKind.PARAM, "T2", parameter="beta", value=194.0),
+    Fault(FaultKind.PARAM, "R4", parameter="resistance", value=3.6e3),
+    Fault(FaultKind.PARAM, "R6", parameter="resistance", value=1.5e3),
+    Fault(FaultKind.SHORT, "R5"),
+    Fault(FaultKind.PARAM, "R1", parameter="resistance", value=240e3),
+]
+
+
+def _seeded_fleet(units: int, distinct: int = len(FAULTS)):
+    """``units`` faulty units drawn round-robin from ``distinct`` defects."""
+    golden = three_stage_amplifier()
+    benches = []
+    for fault in FAULTS[:distinct]:
+        op = DCSolver(apply_fault(golden, fault)).solve()
+        benches.append(probe_all(op, PROBES, imprecision=0.02))
+    return [
+        DiagnosisJob.build(f"unit-{i:03d}", golden, benches[i % len(benches)])
+        for i in range(units)
+    ]
+
+
+def _distinct_fleet(units: int):
+    """All-distinct content: R2 drifts a little differently per unit."""
+    golden = three_stage_amplifier()
+    jobs = []
+    for i in range(units):
+        fault = Fault(
+            FaultKind.PARAM, "R2", parameter="resistance", value=12e3 * (1.05 + 0.01 * i)
+        )
+        op = DCSolver(apply_fault(golden, fault)).solve()
+        jobs.append(
+            DiagnosisJob.build(f"unit-{i:03d}", golden, probe_all(op, PROBES, 0.02))
+        )
+    return jobs
+
+
+def _timed_batch(engine: FleetEngine, jobs):
+    start = time.perf_counter()
+    report = engine.run_batch(jobs)
+    return time.perf_counter() - start, report
+
+
+class TestWorkerScaling:
+    UNITS = 16
+
+    def test_parallel_beats_serial(self, emit):
+        jobs = _distinct_fleet(self.UNITS)
+        times = {}
+        for workers in (1, 4, 8):
+            engine = FleetEngine(workers=workers, executor="process")
+            times[workers], report = _timed_batch(engine, jobs)
+            assert all(r.ok for r in report.results)
+        lines = [f"fleet worker scaling ({self.UNITS} distinct units, process pool)"]
+        for workers, elapsed in times.items():
+            lines.append(
+                f"  workers={workers}: {elapsed:6.2f}s  "
+                f"{self.UNITS / elapsed:6.1f} units/s  "
+                f"speedup x{times[1] / elapsed:.2f}"
+            )
+        emit("service-scaling", "\n".join(lines))
+        cpus = os.cpu_count() or 1
+        if cpus < 2:
+            pytest.skip(
+                f"only {cpus} CPU available: a CPU-bound fleet cannot "
+                "parallelise; scaling table emitted above"
+            )
+        assert times[4] < times[1]
+
+
+class TestCacheSpeedup:
+    UNITS = 24
+    DISTINCT = 8
+
+    def test_warm_pass_beats_cold(self, emit):
+        jobs = _seeded_fleet(self.UNITS, self.DISTINCT)
+        engine = FleetEngine(workers=4, executor="process")
+        cold, cold_report = _timed_batch(engine, jobs)
+        warm, warm_report = _timed_batch(engine, jobs)
+
+        # Cold pass: one propagation per distinct defect, repeats replay.
+        assert engine.telemetry.counter("propagation_passes") == self.DISTINCT
+        assert cold_report.cache_hits == self.UNITS - self.DISTINCT
+        # Warm pass: pure cache.
+        assert all(r.cache_hit for r in warm_report.results)
+        assert engine.cache.hits > 0
+        assert warm < cold
+
+        emit(
+            "service-cache",
+            "\n".join(
+                [
+                    f"fleet cache speedup ({self.UNITS} units, "
+                    f"{self.DISTINCT} distinct defects, workers=4)",
+                    f"  cold pass: {cold:6.2f}s "
+                    f"({self.DISTINCT} propagation passes, "
+                    f"{cold_report.cache_hits} in-batch replays)",
+                    f"  warm pass: {warm:6.4f}s "
+                    f"({warm_report.cache_hits} cache hits)  "
+                    f"speedup x{cold / warm:.0f}",
+                ]
+            ),
+        )
+
+
+class TestReplayThroughput:
+    def test_warm_replay_rate(self, benchmark):
+        """Steady-state service rate once the fleet content is cached."""
+        jobs = _seeded_fleet(12, 4)
+        engine = FleetEngine(workers=1, executor="serial")
+        engine.run_batch(jobs)  # warm the cache
+
+        report = benchmark(engine.run_batch, jobs)
+        assert all(r.cache_hit for r in report.results)

@@ -12,6 +12,8 @@ Public API quick map:
   DC operating-point simulator used to synthesise measurements.
 * :mod:`repro.core`       — the FLAMES engine: fuzzy propagation, conflict
   recognition, diagnosis, knowledge base, learning, best-test strategy.
+* :mod:`repro.service`    — fleet diagnosis service: batched parallel jobs
+  over worker pools with content-addressed result caching and telemetry.
 * :mod:`repro.baselines`  — DIANA-style crisp-interval diagnosis and GDE-style
   probabilistic test selection, used for comparison benchmarks.
 * :mod:`repro.experiments`— drivers regenerating every paper table/figure.

@@ -6,7 +6,12 @@ Commands:
   names: figure2, figure5, figure7, scaling, strategy, learning,
   multifault, dynamic, ablations).
 * ``diagnose NETLIST --probe NET=VOLTS [--probe ...]`` — diagnose a unit
-  described by a SPICE-subset netlist from bench readings.
+  described by a SPICE-subset netlist from bench readings
+  (``--imprecision`` sets the instrument tolerance, ``--json`` emits a
+  machine-readable result).
+* ``batch MANIFEST`` — fleet mode: run a JSON manifest of diagnosis
+  jobs through the parallel :class:`~repro.service.FleetEngine` with
+  result caching and telemetry (see README "Fleet mode").
 * ``simulate NETLIST`` — print the DC operating point of a netlist.
 * ``demo`` — the quickstart walk-through on the three-stage amplifier.
 """
@@ -14,6 +19,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -77,7 +83,11 @@ def _parse_probe(spec: str, imprecision: float) -> Measurement:
     net, _, raw = spec.partition("=")
     if not raw:
         raise SystemExit(f"--probe expects NET=VOLTS, got {spec!r}")
-    return Measurement(f"V({net})", FuzzyInterval.number(float(raw), imprecision))
+    try:
+        value = FuzzyInterval.number(float(raw), imprecision)
+    except ValueError as exc:
+        raise SystemExit(f"bad probe {spec!r}: {exc}")
+    return Measurement(f"V({net})", value)
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
@@ -90,8 +100,67 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
         refinements = KnowledgeBase(circuit).refine(
             result.suspicions, measurements, top_k=5
         )
-    print(render_report(result, refinements, title=f"diagnosis of {circuit.name}"))
+    if args.json:
+        from repro.service.jobs import diagnosis_to_dict
+
+        payload = diagnosis_to_dict(result, refinements)
+        payload["circuit"] = circuit.name
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_report(result, refinements, title=f"diagnosis of {circuit.name}"))
     return 0 if result.is_consistent else 1
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.service import FleetEngine, ManifestError, load_manifest
+
+    try:
+        jobs = load_manifest(args.manifest)
+    except ManifestError as exc:
+        print(f"bad manifest: {exc}", file=sys.stderr)
+        return 2
+    try:
+        engine = FleetEngine(
+            workers=args.workers,
+            executor=args.executor,
+            timeout=args.timeout,
+            retries=args.retries,
+            cache_size=args.cache_size,
+        )
+    except ValueError as exc:
+        print(f"bad engine options: {exc}", file=sys.stderr)
+        return 2
+    report = engine.run_batch(jobs)
+    for _ in range(max(args.repeat - 1, 0)):
+        report = engine.run_batch(jobs)
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0 if not report.failed else 1
+
+    print(f"fleet of {len(jobs)} units ({engine.executor_kind} x{engine.workers}), "
+          f"{report.wall_clock:.2f}s wall-clock")
+    for res in report.results:
+        tag = " (cached)" if res.cache_hit else ""
+        if res.status == "ok":
+            if res.is_consistent:
+                print(f"  {res.unit}: healthy{tag}")
+            else:
+                top = ", ".join(f"{c}:{s:.2f}" for c, s in res.candidates()[:4])
+                print(f"  {res.unit}: faulty{tag} — {top}")
+                modes = res.diagnosis.get("refinements") or []
+                if modes:
+                    best = modes[0]
+                    print(f"      likely mode: {best['component']} "
+                          f"{best['mode']} @ {best['degree']:.2f}")
+        else:
+            reason = res.error.splitlines()[0] if res.error else res.status
+            print(f"  {res.unit}: {res.status.upper()} — {reason}")
+    if report.rules_learned:
+        print(f"experience: {report.rules_learned} rule(s) merged into the shared base")
+    print()
+    print(engine.telemetry.summary(title="fleet telemetry"))
+    return 0 if not report.failed else 1
 
 
 def _cmd_demo(_args: argparse.Namespace) -> int:
@@ -144,7 +213,47 @@ def build_parser() -> argparse.ArgumentParser:
     diagnose.add_argument(
         "--no-refine", action="store_true", help="skip fault-mode refinement"
     )
+    diagnose.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON result instead of the text report",
+    )
     diagnose.set_defaults(func=_cmd_diagnose)
+
+    batch = sub.add_parser(
+        "batch", help="fleet mode: run a JSON manifest of diagnosis jobs"
+    )
+    batch.add_argument("manifest", help="JSON job manifest (see README 'Fleet mode')")
+    batch.add_argument(
+        "--workers", type=int, default=4, help="worker pool width (default 4)"
+    )
+    batch.add_argument(
+        "--executor",
+        choices=["process", "thread", "serial"],
+        default="process",
+        help="pool flavour (default process)",
+    )
+    batch.add_argument(
+        "--timeout", type=float, default=None, help="per-job timeout in seconds"
+    )
+    batch.add_argument(
+        "--retries", type=int, default=1, help="extra attempts for crashed jobs (default 1)"
+    )
+    batch.add_argument(
+        "--cache-size", type=int, default=256, help="result-cache capacity (default 256)"
+    )
+    batch.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="run the manifest N times against the same warm cache (default 1)",
+    )
+    batch.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full batch report as JSON (results + telemetry)",
+    )
+    batch.set_defaults(func=_cmd_batch)
 
     demo = sub.add_parser("demo", help="diagnose a shorted resistor on the paper's amplifier")
     demo.set_defaults(func=_cmd_demo)

@@ -19,7 +19,7 @@ with every degree equal to 1.0 this is precisely the classic ATMS.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.atms.assumptions import Assumption, Environment
 from repro.atms.nodes import Justification, Node

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from repro.atms.assumptions import Assumption, Environment
+from repro.atms.assumptions import Assumption
 from repro.atms.nogood import WeightedNogood
 
 __all__ = [

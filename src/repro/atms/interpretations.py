@@ -9,7 +9,7 @@ fuzzy conflict handling, so we implement the construction directly.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 from repro.atms.assumptions import Assumption, Environment
 from repro.atms.nogood import NogoodDatabase

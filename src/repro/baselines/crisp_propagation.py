@@ -16,7 +16,7 @@ representation:
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Sequence
+from typing import Sequence
 
 from repro.circuit.measurements import Measurement
 from repro.circuit.netlist import Circuit

@@ -19,7 +19,7 @@ an ON state" is exactly such a mode guard).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.circuit.components import (

@@ -10,7 +10,7 @@ and fuzzy engines.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import Optional
 
 from repro.circuit.components import Amplifier, Resistor, VoltageSource
 from repro.circuit.netlist import Circuit, GROUND

@@ -9,7 +9,7 @@ and wraps it with the instrument's fuzziness.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 from repro.circuit.simulate import OperatingPoint
 from repro.fuzzy import FuzzyInterval

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 __all__ = ["Net", "Component", "Circuit", "GROUND"]
 
@@ -141,6 +142,38 @@ class Circuit:
                     f"{self.name}: net {net.name!r} touches only "
                     f"{[c.name for c, _ in touching]}"
                 )
+
+    def canonical_form(self) -> Tuple:
+        """Order-independent structural description of the circuit.
+
+        Components are listed sorted by name, each as ``(kind, name,
+        pins, params)`` with pins and numeric parameters themselves
+        sorted, so two circuits built in different insertion orders —
+        or round-tripped through the netlist format — canonicalise
+        identically.  The circuit ``name``/``description`` labels are
+        deliberately excluded: the form describes electrical content.
+        """
+        comps = []
+        for c in sorted(self.components, key=lambda c: c.name):
+            pins = tuple(sorted((p, n.name) for p, n in c.pins.items()))
+            params = tuple(
+                sorted(
+                    (k, float(v))
+                    for k, v in vars(c).items()
+                    if isinstance(v, (int, float)) and not isinstance(v, bool)
+                )
+            )
+            comps.append((c.kind, c.name, pins, params))
+        return tuple(comps)
+
+    def fingerprint(self) -> str:
+        """Deterministic content hash (sha256 hex) of :meth:`canonical_form`.
+
+        Equal for electrically identical circuits regardless of component
+        insertion order; used as the circuit part of the fleet service's
+        content-addressed result-cache keys.
+        """
+        return hashlib.sha256(repr(self.canonical_form()).encode()).hexdigest()
 
     def clone(self) -> "Circuit":
         return Circuit(

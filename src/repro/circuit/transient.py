@@ -13,14 +13,13 @@ started from the previous step).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
-import numpy as np
 
 from repro.circuit.components import Capacitor, VoltageSource
-from repro.circuit.netlist import Circuit, Net
-from repro.circuit.simulate import DCSolver, OperatingPoint, SimulationError
+from repro.circuit.netlist import Circuit
+from repro.circuit.simulate import DCSolver, OperatingPoint
 
 __all__ = ["Waveform", "step_waveform", "TransientResult", "TransientSolver"]
 

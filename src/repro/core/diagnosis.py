@@ -21,7 +21,7 @@ from repro.circuit.constraints import ConstraintNetwork
 from repro.circuit.measurements import Measurement
 from repro.circuit.netlist import Circuit
 from repro.core.conflicts import RecognizedConflict
-from repro.core.predict import Prediction, predict_nominal
+from repro.core.predict import predict_nominal
 from repro.core.propagation import FuzzyPropagator, PropagationResult, PropagatorConfig
 from repro.fuzzy import Consistency, FuzzyInterval, consistency
 from repro.fuzzy.logic import TNorm, t_norm_min
@@ -45,7 +45,7 @@ class FlamesConfig:
     max_candidate_size: int = 3
     t_norm: TNorm = t_norm_min
     hard_threshold: float = 1.0
-    propagator: PropagatorConfig = PropagatorConfig()
+    propagator: PropagatorConfig = field(default_factory=PropagatorConfig)
 
 
 @dataclass
@@ -89,11 +89,11 @@ class DiagnosisResult:
 class Flames:
     """A fuzzy-logic ATMS and model-based expert system for analog diagnosis."""
 
-    def __init__(self, circuit: Circuit, config: FlamesConfig = FlamesConfig()) -> None:
+    def __init__(self, circuit: Circuit, config: Optional[FlamesConfig] = None) -> None:
         self.circuit = circuit
-        self.config = config
+        self.config = config if config is not None else FlamesConfig()
         self.network = ConstraintNetwork(
-            circuit, config.assumable_nodes, nominal_modes=self._design_modes(circuit)
+            circuit, self.config.assumable_nodes, nominal_modes=self._design_modes(circuit)
         )
         self._nominal: Optional[Dict[str, object]] = None
 

@@ -14,7 +14,7 @@ candidate machinery.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.atms import NogoodDatabase, minimal_diagnoses, suspicion_scores

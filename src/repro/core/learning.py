@@ -17,9 +17,9 @@ candidates on later diagnoses of matching signatures.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.core.diagnosis import DiagnosisResult
 
@@ -187,6 +187,38 @@ class ExperienceBase:
         return self.suggest(SymptomSignature.from_result(result), min_similarity)
 
     # ------------------------------------------------------------------
+    def merge(self, other: "ExperienceBase") -> "ExperienceBase":
+        """Fold another shop's rules into this base (in place).
+
+        Used by the fleet service to combine the experience gathered by
+        a batch of worker sessions back into the shared base.  Matching
+        rules (same signature, component and mode) combine certainties
+        the same way repetition does — ``1 - (1-c1)(1-c2)`` — and sum
+        occurrence counts; new rules are copied over.
+        """
+        for rule in other.rules:
+            for mine in self.rules:
+                if (
+                    mine.signature == rule.signature
+                    and mine.component == rule.component
+                    and mine.mode == rule.mode
+                ):
+                    mine.occurrences += rule.occurrences
+                    mine.certainty = 1.0 - (1.0 - mine.certainty) * (1.0 - rule.certainty)
+                    break
+            else:
+                self.rules.append(
+                    LearnedRule(
+                        rule.signature,
+                        rule.component,
+                        rule.mode,
+                        rule.certainty,
+                        rule.occurrences,
+                    )
+                )
+        self.episode_count += other.episode_count
+        return self
+
     # ------------------------------------------------------------------
     # Persistence: the repair shop's memory outlives the process.
     # ------------------------------------------------------------------

@@ -24,7 +24,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
 
-from repro.circuit.constraints import Constraint, ConstraintNetwork, Variable
+from repro.circuit.constraints import Constraint, ConstraintNetwork
 from repro.core.conflicts import RecognizedConflict, recognize
 from repro.core.values import FuzzyValue
 from repro.fuzzy import FuzzyInterval
@@ -72,10 +72,10 @@ class FuzzyPropagator:
         self,
         network: ConstraintNetwork,
         on_conflict: Optional[Callable[[RecognizedConflict], None]] = None,
-        config: PropagatorConfig = PropagatorConfig(),
+        config: Optional[PropagatorConfig] = None,
     ) -> None:
         self.network = network
-        self.config = config
+        self.config = config if config is not None else PropagatorConfig()
         self.on_conflict = on_conflict
         self._values: Dict[str, List[FuzzyValue]] = {}
         self._watchers: Dict[str, List[Constraint]] = {}

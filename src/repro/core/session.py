@@ -16,7 +16,7 @@ exposed rather than hidden behind a verdict.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.circuit.measurements import Measurement, probe
 from repro.circuit.netlist import Circuit
@@ -46,7 +46,7 @@ class TroubleshootingSession:
     def __init__(
         self,
         circuit: Circuit,
-        config: FlamesConfig = FlamesConfig(),
+        config: Optional[FlamesConfig] = None,
         experience: Optional[ExperienceBase] = None,
         knowledge: Optional[KnowledgeBase] = None,
         planner: Optional[BestTestPlanner] = None,

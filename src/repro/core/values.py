@@ -9,7 +9,7 @@ along its derivation, and a provenance string for explanations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet
 
 from repro.fuzzy import FuzzyInterval

@@ -11,8 +11,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.circuit.faults import apply_fault
 from repro.circuit.library import three_stage_amplifier

@@ -17,7 +17,7 @@ Two parts, both straight from §4.2:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.baselines.crisp_interval import Interval
 from repro.experiments.runner import format_table

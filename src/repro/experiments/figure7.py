@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.circuit.faults import Fault, FaultKind, apply_fault
 from repro.circuit.library import three_stage_amplifier
-from repro.circuit.measurements import Measurement, probe_all
+from repro.circuit.measurements import probe_all
 from repro.circuit.simulate import DCSolver
 from repro.core.diagnosis import DiagnosisResult, Flames
 from repro.core.knowledge import KnowledgeBase, ModeMatch

@@ -17,7 +17,7 @@ form and keep the literal form available for the ablation benchmark.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.fuzzy.interval import FuzzyInterval
 

@@ -18,7 +18,6 @@ and keeps every hedged value a plain :class:`FuzzyInterval`.
 
 from __future__ import annotations
 
-import math
 
 from repro.fuzzy.interval import FuzzyInterval
 

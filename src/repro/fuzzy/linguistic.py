@@ -12,7 +12,7 @@ granularity that include the published anchors at granularity 5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 from repro.fuzzy.interval import FuzzyInterval
 

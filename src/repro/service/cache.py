@@ -1,0 +1,88 @@
+"""Content-addressed LRU result cache.
+
+Repair-shop fleets repeat themselves: the same golden design with the
+same symptom shows up over and over.  Keyed on
+:attr:`~repro.service.jobs.DiagnosisJob.content_hash`, the cache lets a
+repeated unit skip the whole fuzzy-propagation pass and replay the
+stored :class:`~repro.service.jobs.JobResult`.
+
+Only *successful* results are worth keeping (errors are cheap to
+reproduce and usually transient); the :class:`FleetEngine` enforces
+that policy, the cache itself is policy-free.  All operations are
+thread-safe; ``get``/``put`` maintain hit/miss/eviction counters that
+feed the service telemetry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from repro.service.jobs import JobResult
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """An LRU mapping ``content_hash -> JobResult`` with usage counters."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, JobResult]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        """Membership test without touching recency or the counters."""
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[JobResult]:
+        """Look up a result, counting the hit/miss and refreshing recency."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: str, result: JobResult) -> None:
+        """Store a result, evicting the least-recently-used overflow."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all entries (the counters keep their history)."""
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict:
+        """Counters and occupancy as a plain dict (for telemetry)."""
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }

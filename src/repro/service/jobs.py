@@ -1,0 +1,373 @@
+"""Diagnosis jobs and machine-readable results — the fleet data plane.
+
+The paper runs one troubleshooting session per unit under test; a
+repair shop runs *fleets* of units, most of them exhibiting the same
+few defects.  This module defines the unit of work the fleet engine
+schedules:
+
+* :class:`DiagnosisJob` — one unit to diagnose, described entirely as
+  plain data (netlist text, fuzzy measurement tuples, scalar config
+  overrides) so jobs pickle cleanly into worker processes and hash
+  deterministically;
+* :class:`JobResult` — the structured outcome (ranked candidates,
+  minimal candidate sets, consistency table, fault-mode refinements,
+  error details), JSON round-trippable;
+* :func:`diagnosis_to_dict` — the JSON shape shared between
+  ``python -m repro diagnose --json`` and the batch service, so a
+  diagnose run's output slots straight into a batch manifest;
+* :func:`load_manifest` — reads the JSON job manifest the ``batch``
+  CLI consumes.
+
+Content hashing: a job's :attr:`~DiagnosisJob.content_hash` is a sha256
+over the circuit's :meth:`~repro.circuit.netlist.Circuit.fingerprint`
+(order-independent electrical content), the measurement set and the
+config overrides — the key of the service's content-addressed result
+cache.  The unit label and the optional confirmed repair are *not*
+hashed: they do not change what the engine computes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.circuit.measurements import Measurement
+from repro.circuit.netlist import Circuit
+from repro.circuit.spice import parse_netlist, write_netlist
+from repro.core.diagnosis import DiagnosisResult, FlamesConfig
+from repro.core.knowledge import ModeMatch
+from repro.fuzzy import FuzzyInterval
+
+__all__ = [
+    "CONFIG_FIELDS",
+    "DiagnosisJob",
+    "JobResult",
+    "diagnosis_to_dict",
+    "measurement_to_dict",
+    "measurement_from_dict",
+    "load_manifest",
+    "ManifestError",
+]
+
+#: FlamesConfig knobs a job may override — scalars only, so jobs stay
+#: JSON- and pickle-safe (the t-norm and propagator tuning stay at
+#: engine defaults).
+CONFIG_FIELDS = (
+    "assumable_nodes",
+    "conflict_threshold",
+    "max_candidate_size",
+    "hard_threshold",
+)
+
+#: One fuzzy measurement as plain data: (point, m1, m2, alpha, beta).
+MeasurementTuple = Tuple[str, float, float, float, float]
+
+
+class ManifestError(ValueError):
+    """A batch manifest (or one of its job specs) is malformed."""
+
+
+def measurement_to_dict(m: Measurement) -> Dict:
+    """JSON shape of one measurement: ``{"point": ..., "value": [m1, m2, alpha, beta]}``."""
+    return {"point": m.point, "value": [m.value.m1, m.value.m2, m.value.alpha, m.value.beta]}
+
+
+def measurement_from_dict(data: Dict) -> Measurement:
+    """Inverse of :func:`measurement_to_dict`."""
+    try:
+        point = str(data["point"])
+        m1, m2, alpha, beta = (float(x) for x in data["value"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ManifestError(f"bad measurement spec {data!r}: {exc}") from None
+    return Measurement(point, FuzzyInterval(m1, m2, alpha, beta))
+
+
+@dataclass(frozen=True)
+class DiagnosisJob:
+    """One unit of fleet work: a circuit, its bench readings, the knobs.
+
+    Attributes:
+        unit: free-form label for reporting (not part of the hash).
+        netlist_text: the golden design in the SPICE-subset card format.
+        measurements: fuzzy readings as plain tuples.
+        config: sorted ``(field, value)`` FlamesConfig overrides.
+        confirm: optional ``(component, mode)`` the expert has verified
+            on this unit — feeds the shared experience base after the
+            batch (not part of the hash either).
+    """
+
+    unit: str
+    netlist_text: str
+    measurements: Tuple[MeasurementTuple, ...]
+    config: Tuple[Tuple[str, float], ...] = ()
+    confirm: Optional[Tuple[str, str]] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        unit: str,
+        circuit: Union[Circuit, str],
+        measurements: Sequence[Measurement],
+        config: Optional[Dict[str, float]] = None,
+        confirm: Optional[Tuple[str, str]] = None,
+    ) -> "DiagnosisJob":
+        """Build a job from rich objects (circuit and measurements)."""
+        text = write_netlist(circuit) if isinstance(circuit, Circuit) else str(circuit)
+        overrides = {}
+        for key, value in (config or {}).items():
+            if key not in CONFIG_FIELDS:
+                raise ManifestError(
+                    f"unknown config field {key!r}; choices: {', '.join(CONFIG_FIELDS)}"
+                )
+            overrides[key] = float(value)
+        return cls(
+            unit=unit,
+            netlist_text=text,
+            measurements=tuple(
+                (m.point, m.value.m1, m.value.m2, m.value.alpha, m.value.beta)
+                for m in measurements
+            ),
+            config=tuple(sorted(overrides.items())),
+            confirm=tuple(confirm) if confirm else None,  # type: ignore[arg-type]
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def circuit(self) -> Circuit:
+        """Parse the netlist (raises on malformed cards)."""
+        return parse_netlist(self.netlist_text, name=self.unit or "unit")
+
+    def to_measurements(self) -> List[Measurement]:
+        return [
+            Measurement(point, FuzzyInterval(m1, m2, alpha, beta))
+            for point, m1, m2, alpha, beta in self.measurements
+        ]
+
+    def flames_config(self) -> FlamesConfig:
+        overrides: Dict[str, object] = dict(self.config)
+        if "assumable_nodes" in overrides:
+            overrides["assumable_nodes"] = bool(overrides["assumable_nodes"])
+        if "max_candidate_size" in overrides:
+            overrides["max_candidate_size"] = int(overrides["max_candidate_size"])
+        return FlamesConfig(**overrides)  # type: ignore[arg-type]
+
+    @property
+    def content_hash(self) -> str:
+        """Deterministic sha256 of (circuit content, measurements, config).
+
+        The circuit contributes through its order-independent
+        :meth:`~repro.circuit.netlist.Circuit.fingerprint`; a netlist
+        that does not parse falls back to hashing the raw text, so even
+        a doomed job gets a stable cache key.
+        """
+        try:
+            circuit_key = self.circuit().fingerprint()
+        except Exception:
+            circuit_key = "rawtext:" + hashlib.sha256(self.netlist_text.encode()).hexdigest()
+        payload = json.dumps(
+            {
+                "circuit": circuit_key,
+                "measurements": sorted(self.measurements),
+                "config": list(self.config),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+def diagnosis_to_dict(
+    result: DiagnosisResult,
+    refinements: Optional[Sequence[ModeMatch]] = None,
+) -> Dict:
+    """Machine-readable view of a :class:`DiagnosisResult`.
+
+    This is the JSON shape printed by ``python -m repro diagnose
+    --json`` and embedded in every fleet :class:`JobResult`; its
+    ``measurements`` entries use the same shape a batch manifest
+    accepts, so outputs can be replayed as inputs.
+    """
+    from repro.core.learning import SymptomSignature
+
+    return {
+        "status": "consistent" if result.is_consistent else "faulty",
+        "measurements": [measurement_to_dict(m) for m in result.measurements],
+        "consistencies": {
+            point: {"degree": cons.degree, "direction": cons.direction, "signed": cons.signed}
+            for point, cons in result.consistencies.items()
+        },
+        "suspicions": dict(result.ranked_components()),
+        "nogoods": [
+            {"components": sorted(a.datum for a in ng.environment), "degree": ng.degree}
+            for ng in result.nogoods
+        ],
+        "candidates": [
+            {"components": list(d.components), "degree": d.degree} for d in result.diagnoses
+        ],
+        "refinements": [
+            {"component": r.component, "mode": r.mode, "degree": r.degree}
+            for r in (refinements or [])
+        ],
+        "signature": SymptomSignature.from_result(result).to_list(),
+        "stats": {
+            "propagation_steps": result.propagation.steps if result.propagation else 0,
+            "quiescent": bool(result.propagation.quiescent) if result.propagation else True,
+            "nogoods": len(result.nogoods),
+            "conflicts": len(result.conflicts),
+        },
+    }
+
+
+@dataclass
+class JobResult:
+    """Structured outcome of one job — success, failure or timeout.
+
+    ``diagnosis`` carries the :func:`diagnosis_to_dict` payload for ok
+    results and is empty for error/timeout ones; either way the batch
+    completes and every unit gets an entry.
+    """
+
+    unit: str
+    content_hash: str
+    status: str  # "ok" | "error" | "timeout"
+    diagnosis: Dict = field(default_factory=dict)
+    error: str = ""
+    elapsed: float = 0.0
+    attempts: int = 1
+    cache_hit: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def is_consistent(self) -> bool:
+        return self.diagnosis.get("status") == "consistent"
+
+    def candidates(self) -> List[Tuple[str, float]]:
+        """Ranked (component, suspicion) pairs of an ok result."""
+        return sorted(
+            self.diagnosis.get("suspicions", {}).items(), key=lambda kv: (-kv[1], kv[0])
+        )
+
+    def signature_entries(self) -> Optional[List]:
+        return self.diagnosis.get("signature")
+
+    def relabel(self, unit: str, cache_hit: bool = True) -> "JobResult":
+        """A copy serving another unit with identical content (a cache hit)."""
+        return JobResult(
+            unit=unit,
+            content_hash=self.content_hash,
+            status=self.status,
+            diagnosis=self.diagnosis,
+            error=self.error,
+            elapsed=0.0,
+            attempts=0,
+            cache_hit=cache_hit,
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "unit": self.unit,
+            "content_hash": self.content_hash,
+            "status": self.status,
+            "diagnosis": self.diagnosis,
+            "error": self.error,
+            "elapsed": self.elapsed,
+            "attempts": self.attempts,
+            "cache_hit": self.cache_hit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobResult":
+        return cls(
+            unit=str(data.get("unit", "")),
+            content_hash=str(data.get("content_hash", "")),
+            status=str(data["status"]),
+            diagnosis=dict(data.get("diagnosis", {})),
+            error=str(data.get("error", "")),
+            elapsed=float(data.get("elapsed", 0.0)),
+            attempts=int(data.get("attempts", 1)),
+            cache_hit=bool(data.get("cache_hit", False)),
+        )
+
+
+# ----------------------------------------------------------------------
+# Manifests
+# ----------------------------------------------------------------------
+def _job_from_spec(spec: Dict, index: int, base_dir: Path) -> DiagnosisJob:
+    if not isinstance(spec, dict):
+        raise ManifestError(f"job #{index}: expected an object, got {type(spec).__name__}")
+    unit = str(spec.get("unit", f"unit-{index:03d}"))
+
+    if "netlist_text" in spec:
+        text = str(spec["netlist_text"])
+    elif "netlist" in spec:
+        path = Path(spec["netlist"])
+        if not path.is_absolute():
+            path = base_dir / path
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise ManifestError(f"job {unit!r}: cannot read netlist {path}: {exc}") from None
+    else:
+        raise ManifestError(f"job {unit!r}: needs 'netlist' (path) or 'netlist_text'")
+
+    measurements: List[Measurement] = []
+    imprecision = float(spec.get("imprecision", 0.02))
+    for net, volts in (spec.get("probes") or {}).items():
+        measurements.append(
+            Measurement(f"V({net})", FuzzyInterval.number(float(volts), imprecision))
+        )
+    for entry in spec.get("measurements") or []:
+        measurements.append(measurement_from_dict(entry))
+    if not measurements:
+        raise ManifestError(f"job {unit!r}: needs 'probes' and/or 'measurements'")
+
+    confirm = None
+    if spec.get("confirm"):
+        c = spec["confirm"]
+        if not isinstance(c, dict) or "component" not in c:
+            raise ManifestError(f"job {unit!r}: 'confirm' needs a 'component'")
+        confirm = (str(c["component"]), str(c.get("mode", "")))
+
+    return DiagnosisJob.build(
+        unit=unit,
+        circuit=text,
+        measurements=measurements,
+        config=spec.get("config"),
+        confirm=confirm,
+    )
+
+
+def load_manifest(path: Union[str, Path]) -> List[DiagnosisJob]:
+    """Read a batch manifest: ``{"jobs": [...]}`` or a bare job list.
+
+    Each job spec gives a ``unit`` label, the golden design as a
+    ``netlist`` path (relative to the manifest) or inline
+    ``netlist_text``, readings as ``probes`` (``{"net": volts}`` with an
+    optional ``imprecision``, mirroring ``diagnose --probe``) and/or
+    explicit fuzzy ``measurements`` (the ``diagnose --json`` shape),
+    plus optional ``config`` overrides and a ``confirm``-ed repair.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise ManifestError(f"cannot read manifest {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ManifestError(f"manifest {path} is not valid JSON: {exc}") from None
+    specs = data.get("jobs") if isinstance(data, dict) else data
+    if not isinstance(specs, list) or not specs:
+        raise ManifestError(f"manifest {path} holds no jobs")
+    base = path.resolve().parent
+    return [_job_from_spec(spec, i, base) for i, spec in enumerate(specs)]

@@ -1,0 +1,362 @@
+"""The fleet engine: fan diagnosis jobs out over a worker pool.
+
+``FleetEngine.run_batch`` is the throughput pipeline the single
+:class:`~repro.core.session.TroubleshootingSession` never had:
+
+1. **hash** — every job gets its deterministic content hash;
+2. **cache** — previously diagnosed content replays instantly; within
+   the batch, duplicated content is deduplicated so one *leader* job
+   computes and its *followers* replay the stored result;
+3. **execute** — leaders run through a ``concurrent.futures`` pool
+   (process by default — diagnosis is pure CPU — or thread/serial),
+   with a per-job timeout and a bounded retry on failure.  A crashing
+   job yields a structured ``error`` result; it never kills the batch;
+4. **merge** — expert-confirmed repairs are folded into the engine's
+   shared :class:`~repro.core.learning.ExperienceBase` via
+   :meth:`~repro.core.learning.ExperienceBase.merge`, so the whole
+   fleet learns from every shop.
+
+Jobs are plain data (see :mod:`repro.service.jobs`), so nothing but
+picklable payloads ever crosses a process boundary.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.diagnosis import Flames
+from repro.core.knowledge import KnowledgeBase
+from repro.core.learning import Episode, ExperienceBase, SymptomSignature
+from repro.service.cache import ResultCache
+from repro.service.jobs import DiagnosisJob, JobResult, diagnosis_to_dict
+from repro.service.telemetry import Telemetry
+
+__all__ = ["FleetEngine", "BatchReport", "execute_job"]
+
+EXECUTORS = ("process", "thread", "serial")
+
+
+def execute_job(job: DiagnosisJob) -> Dict:
+    """Run one job to a plain-dict outcome (the worker entry point).
+
+    Module-level and dealing only in plain data so it pickles into
+    worker processes.  Exceptions are converted into an ``error``
+    payload — a crashing job must produce a result, not a dead pool.
+    """
+    start = time.perf_counter()
+    try:
+        circuit = job.circuit()
+        measurements = job.to_measurements()
+        engine = Flames(circuit, job.flames_config())
+        result = engine.diagnose(measurements)
+        refinements = None
+        if not result.is_consistent:
+            refinements = KnowledgeBase(circuit).refine(
+                result.suspicions, measurements, top_k=5
+            )
+        return {
+            "status": "ok",
+            "diagnosis": diagnosis_to_dict(result, refinements),
+            "elapsed": time.perf_counter() - start,
+        }
+    except Exception as exc:
+        tail = traceback.format_exc(limit=3)
+        return {
+            "status": "error",
+            "error": f"{type(exc).__name__}: {exc}\n{tail}",
+            "elapsed": time.perf_counter() - start,
+        }
+
+
+@dataclass
+class BatchReport:
+    """Everything one ``run_batch`` produced, in job order."""
+
+    results: List[JobResult]
+    telemetry: Dict = field(default_factory=dict)
+    wall_clock: float = 0.0
+    rules_learned: int = 0
+
+    @property
+    def ok(self) -> List[JobResult]:
+        return [r for r in self.results if r.status == "ok"]
+
+    @property
+    def failed(self) -> List[JobResult]:
+        return [r for r in self.results if r.status != "ok"]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.cache_hit)
+
+    def to_dict(self) -> Dict:
+        return {
+            "results": [r.to_dict() for r in self.results],
+            "telemetry": self.telemetry,
+            "wall_clock": self.wall_clock,
+            "rules_learned": self.rules_learned,
+        }
+
+
+class FleetEngine:
+    """Batched parallel diagnosis with caching, retries and telemetry.
+
+    Args:
+        workers: pool width (>= 1).
+        executor: ``"process"`` (default — diagnosis is CPU-bound),
+            ``"thread"`` (cheap startup; useful for tests and small
+            batches) or ``"serial"`` (inline, no pool at all).
+        timeout: per-job seconds before a ``timeout`` result is
+            recorded (``None`` = wait forever).  A timed-out worker
+            process may linger until the batch ends; the batch itself
+            always completes.  Not enforceable for ``serial``.
+        retries: extra attempts granted to a job whose worker crashed
+            or whose pool broke (timeouts are not retried).
+        cache: shared :class:`ResultCache` (one is built when omitted);
+            persists across batches for warm-pass speedups.
+        cache_size: capacity of the built cache when ``cache`` is None.
+        telemetry: shared :class:`Telemetry` (one is built when omitted).
+        experience: the shared fleet :class:`ExperienceBase` that
+            confirmed repairs merge into after every batch.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        executor: str = "process",
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        cache: Optional[ResultCache] = None,
+        cache_size: int = 256,
+        telemetry: Optional[Telemetry] = None,
+        experience: Optional[ExperienceBase] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if executor not in EXECUTORS:
+            raise ValueError(f"executor must be one of {EXECUTORS}, got {executor!r}")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.workers = workers
+        self.executor_kind = executor
+        self.timeout = timeout
+        self.retries = retries
+        self.cache = cache if cache is not None else ResultCache(cache_size)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.experience = experience if experience is not None else ExperienceBase()
+
+    # ------------------------------------------------------------------
+    # The pipeline
+    # ------------------------------------------------------------------
+    def run_batch(self, jobs: Sequence[DiagnosisJob]) -> BatchReport:
+        """Diagnose a fleet; returns one result per job, in job order."""
+        started = time.perf_counter()
+        tel = self.telemetry
+        tel.incr("batches")
+        tel.incr("jobs_submitted", len(jobs))
+
+        with tel.phase("hash"):
+            hashes = [job.content_hash for job in jobs]
+
+        results: Dict[int, JobResult] = {}
+        leaders: Dict[str, int] = {}
+        followers: Dict[str, List[int]] = {}
+        with tel.phase("cache"):
+            for index, (job, key) in enumerate(zip(jobs, hashes)):
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[index] = cached.relabel(job.unit)
+                elif key in leaders:
+                    followers.setdefault(key, []).append(index)
+                else:
+                    leaders[key] = index
+
+        with tel.phase("execute"):
+            executed = self._execute({key: jobs[i] for key, i in leaders.items()})
+
+        for key, index in leaders.items():
+            outcome = executed[key]
+            results[index] = outcome
+            if outcome.ok:
+                self.cache.put(key, outcome)
+            for follower in followers.get(key, []):
+                if outcome.ok:
+                    # Replay through the cache so in-batch duplicates are
+                    # counted exactly like warm-pass hits.
+                    stored = self.cache.get(key)
+                    results[follower] = stored.relabel(jobs[follower].unit)
+                else:
+                    results[follower] = outcome.relabel(jobs[follower].unit, cache_hit=False)
+
+        ordered = [results[i] for i in range(len(jobs))]
+
+        with tel.phase("merge"):
+            learned = self._merge_experience(jobs, ordered)
+
+        for res in ordered:
+            tel.incr(f"jobs_{res.status}")
+            if res.cache_hit:
+                continue
+            if res.elapsed:
+                tel.observe("job_seconds", res.elapsed)
+            stats = res.diagnosis.get("stats", {})
+            if stats:
+                tel.incr("propagation_passes")
+                tel.incr("propagation_steps", stats.get("propagation_steps", 0))
+                tel.incr("nogoods_found", stats.get("nogoods", 0))
+        cache_snap = self.cache.snapshot()
+        tel.incr("cache_hits", cache_snap["hits"] - tel.counter("cache_hits"))
+        tel.incr("cache_misses", cache_snap["misses"] - tel.counter("cache_misses"))
+
+        wall = time.perf_counter() - started
+        tel.observe("batch_seconds", wall)
+        return BatchReport(
+            results=ordered,
+            telemetry=tel.snapshot(),
+            wall_clock=wall,
+            rules_learned=learned,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution with retry / timeout / graceful degradation
+    # ------------------------------------------------------------------
+    def _execute(self, pending: Dict[str, DiagnosisJob]) -> Dict[str, JobResult]:
+        if not pending:
+            return {}
+        if self.executor_kind == "serial":
+            return self._execute_serial(pending)
+        return self._execute_pooled(pending)
+
+    def _execute_serial(self, pending: Dict[str, DiagnosisJob]) -> Dict[str, JobResult]:
+        results: Dict[str, JobResult] = {}
+        for key, job in pending.items():
+            attempts = 0
+            while True:
+                attempts += 1
+                payload = execute_job(job)
+                if payload["status"] == "ok" or attempts > self.retries:
+                    break
+                self.telemetry.incr("retries")
+            results[key] = self._to_result(job, key, payload, attempts)
+        return results
+
+    def _execute_pooled(self, pending: Dict[str, DiagnosisJob]) -> Dict[str, JobResult]:
+        results: Dict[str, JobResult] = {}
+        attempts = {key: 0 for key in pending}
+        executor = self._make_executor()
+        try:
+            while pending:
+                futures: Dict[str, Future] = {}
+                for key, job in pending.items():
+                    attempts[key] += 1
+                    try:
+                        futures[key] = executor.submit(execute_job, job)
+                    except (BrokenExecutor, RuntimeError):
+                        executor = self._revive(executor)
+                        futures[key] = executor.submit(execute_job, job)
+                retry: Dict[str, DiagnosisJob] = {}
+                for key, future in futures.items():
+                    job = pending[key]
+                    timed_out = False
+                    try:
+                        payload = future.result(timeout=self.timeout)
+                    except FuturesTimeoutError:
+                        future.cancel()
+                        timed_out = True
+                        payload = {
+                            "status": "timeout",
+                            "error": f"job exceeded the {self.timeout:g}s budget",
+                            "elapsed": float(self.timeout or 0.0),
+                        }
+                        self.telemetry.event("timeout", unit=job.unit, hash=key[:12])
+                    except BrokenExecutor as exc:
+                        executor = self._revive(executor)
+                        payload = {
+                            "status": "error",
+                            "error": f"worker pool broke: {exc!r}",
+                            "elapsed": 0.0,
+                        }
+                    except Exception as exc:  # unpicklable result, cancellation, ...
+                        payload = {
+                            "status": "error",
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "elapsed": 0.0,
+                        }
+                    failed = payload["status"] == "error"
+                    if failed and not timed_out and attempts[key] <= self.retries:
+                        retry[key] = job
+                        self.telemetry.incr("retries")
+                    else:
+                        results[key] = self._to_result(job, key, payload, attempts[key])
+                pending = retry
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return results
+
+    def _make_executor(self):
+        if self.executor_kind == "thread":
+            return ThreadPoolExecutor(max_workers=self.workers)
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    def _revive(self, executor):
+        """Replace a broken pool (graceful degradation, not batch death)."""
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+        self.telemetry.incr("pool_restarts")
+        return self._make_executor()
+
+    def _to_result(
+        self, job: DiagnosisJob, key: str, payload: Dict, attempts: int
+    ) -> JobResult:
+        result = JobResult(
+            unit=job.unit,
+            content_hash=key,
+            status=str(payload["status"]),
+            diagnosis=dict(payload.get("diagnosis") or {}),
+            error=str(payload.get("error", "")),
+            elapsed=float(payload.get("elapsed", 0.0)),
+            attempts=attempts,
+            cache_hit=False,
+        )
+        if not result.ok:
+            self.telemetry.event(
+                "job_failed",
+                unit=job.unit,
+                status=result.status,
+                attempts=attempts,
+                error=result.error.splitlines()[0] if result.error else "",
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Experience merge
+    # ------------------------------------------------------------------
+    def _merge_experience(
+        self, jobs: Sequence[DiagnosisJob], results: Sequence[JobResult]
+    ) -> int:
+        """Fold the batch's confirmed repairs into the shared base."""
+        batch = ExperienceBase(base_certainty=self.experience.base_certainty)
+        for job, result in zip(jobs, results):
+            if not job.confirm or not result.ok:
+                continue
+            entries = result.signature_entries()
+            if entries is None:
+                continue
+            component, mode = job.confirm
+            batch.record(Episode(SymptomSignature.from_list(entries), component, mode))
+        if len(batch):
+            self.experience.merge(batch)
+            self.telemetry.incr("episodes_recorded", batch.episode_count)
+        return len(batch)

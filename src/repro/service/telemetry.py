@@ -1,0 +1,138 @@
+"""Lightweight structured telemetry for the fleet service.
+
+The single-session reproduction never needed to answer "where does the
+time go?"; a throughput-oriented service does.  :class:`Telemetry`
+collects three cheap primitives behind one lock:
+
+* **counters** — monotonically increasing totals (jobs run, cache
+  hits, retries, nogoods found, ...);
+* **observations** — value streams summarised as count/total/min/max
+  (per-job wall-clock, propagation steps per pass, ...);
+* **phases** — wall-clock accumulated per named pipeline stage
+  (hash, cache, execute, merge);
+
+plus a bounded **event log** of structured dicts for per-job forensics.
+``snapshot()`` returns everything as plain data (JSON-safe);
+``summary()`` renders the human-readable digest the batch CLI prints.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+__all__ = ["Telemetry"]
+
+
+class Telemetry:
+    """Thread-safe counters, value summaries, phase timers, event log."""
+
+    def __init__(self, max_events: int = 256) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._observations: Dict[str, List[float]] = {}  # [count, total, min, max]
+        self._phases: Dict[str, List[float]] = {}  # [seconds, entries]
+        self._events: "deque[Dict]" = deque(maxlen=max_events)
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def incr(self, name: str, amount: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            stats = self._observations.get(name)
+            if stats is None:
+                self._observations[name] = [1, value, value, value]
+            else:
+                stats[0] += 1
+                stats[1] += value
+                stats[2] = min(stats[2], value)
+                stats[3] = max(stats[3], value)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Accumulate the wall-clock spent inside the ``with`` block."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                bucket = self._phases.setdefault(name, [0.0, 0])
+                bucket[0] += elapsed
+                bucket[1] += 1
+
+    def event(self, kind: str, **fields: object) -> None:
+        """Append one structured event (oldest events roll off)."""
+        entry = {"kind": kind}
+        entry.update(fields)
+        with self._lock:
+            self._events.append(entry)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> Dict:
+        """Everything as a JSON-safe dict."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "observations": {
+                    name: {
+                        "count": int(c),
+                        "total": t,
+                        "mean": t / c if c else 0.0,
+                        "min": lo,
+                        "max": hi,
+                    }
+                    for name, (c, t, lo, hi) in self._observations.items()
+                },
+                "phases": {
+                    name: {"seconds": secs, "entries": int(n)}
+                    for name, (secs, n) in self._phases.items()
+                },
+                "events": list(self._events),
+            }
+
+    def summary(self, title: str = "telemetry") -> str:
+        """Human-readable digest (counters, phase times, observations)."""
+        snap = self.snapshot()
+        lines = [title, "-" * len(title)]
+        if snap["counters"]:
+            lines.append("counters:")
+            for name in sorted(snap["counters"]):
+                value = snap["counters"][name]
+                shown = int(value) if float(value).is_integer() else round(value, 4)
+                lines.append(f"  {name}: {shown}")
+        if snap["phases"]:
+            lines.append("phases (wall-clock):")
+            for name, info in snap["phases"].items():
+                lines.append(f"  {name}: {info['seconds']:.3f}s over {info['entries']} entries")
+        if snap["observations"]:
+            lines.append("observations:")
+            for name in sorted(snap["observations"]):
+                o = snap["observations"][name]
+                lines.append(
+                    f"  {name}: n={o['count']} mean={o['mean']:.4g} "
+                    f"min={o['min']:.4g} max={o['max']:.4g}"
+                )
+        if len(lines) == 2:
+            lines.append("(empty)")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._observations.clear()
+            self._phases.clear()
+            self._events.clear()

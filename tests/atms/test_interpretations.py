@@ -1,6 +1,5 @@
 """Unit tests for maximal consistent environments."""
 
-import pytest
 
 from repro.atms import Environment, NogoodDatabase
 from repro.atms.assumptions import Assumption

@@ -120,3 +120,32 @@ class TestCircuit:
         clone = divider.clone()
         assert [c.name for c in clone.components] == [c.name for c in divider.components]
         assert clone.component("R2").net("b").is_ground
+
+
+class TestFingerprint:
+    def test_stable_across_insertion_order(self, divider):
+        reordered = Circuit("divider-reordered")
+        for comp in reversed(divider.components):
+            reordered.add(comp.clone())
+        assert divider.fingerprint() == reordered.fingerprint()
+
+    def test_name_and_description_excluded(self, divider):
+        clone = divider.clone()
+        clone.name = "renamed"
+        clone.description = "same electrical content"
+        assert clone.fingerprint() == divider.fingerprint()
+
+    def test_parameter_change_alters_fingerprint(self, divider):
+        clone = divider.clone()
+        clone.component("R1").resistance = 2e3
+        assert clone.fingerprint() != divider.fingerprint()
+
+    def test_rewiring_alters_fingerprint(self, divider):
+        clone = divider.clone()
+        clone.component("R2").rewire("b", "top")
+        assert clone.fingerprint() != divider.fingerprint()
+
+    def test_tolerance_contributes(self, divider):
+        clone = divider.clone()
+        clone.component("R1").tolerance = 0.2
+        assert clone.fingerprint() != divider.fingerprint()

@@ -147,3 +147,55 @@ class TestPersistence:
 
     def test_signature_list_round_trip(self):
         assert SymptomSignature.from_list(SIG_A.to_list()) == SIG_A
+
+
+class TestMerge:
+    def test_merge_copies_new_rules(self):
+        ours = ExperienceBase()
+        theirs = ExperienceBase()
+        theirs.record(Episode(SIG_A, "R2", "short"))
+        ours.merge(theirs)
+        assert len(ours) == 1
+        assert ours.rules[0].component == "R2"
+        assert ours.episode_count == 1
+
+    def test_merge_reinforces_matching_rules(self):
+        ours = ExperienceBase(base_certainty=0.6)
+        theirs = ExperienceBase(base_certainty=0.6)
+        ours.record(Episode(SIG_A, "R2", "short"))
+        theirs.record(Episode(SIG_A, "R2", "short"))
+        ours.merge(theirs)
+        assert len(ours) == 1
+        rule = ours.rules[0]
+        assert rule.occurrences == 2
+        # 1 - (1 - 0.6)(1 - 0.6) = 0.84: merging matches repetition
+        assert rule.certainty == pytest.approx(0.84)
+
+    def test_merge_is_independent_copy(self):
+        ours = ExperienceBase()
+        theirs = ExperienceBase()
+        theirs.record(Episode(SIG_A, "R2", "short"))
+        ours.merge(theirs)
+        theirs.rules[0].certainty = 0.99
+        assert ours.rules[0].certainty != 0.99
+
+    def test_merge_keeps_distinct_modes_apart(self):
+        ours = ExperienceBase()
+        theirs = ExperienceBase()
+        ours.record(Episode(SIG_A, "R2", "short"))
+        theirs.record(Episode(SIG_A, "R2", "open"))
+        theirs.record(Episode(SIG_B, "R2", "short"))
+        ours.merge(theirs)
+        assert len(ours) == 3
+
+    def test_merged_rules_fire_on_suggest(self):
+        ours = ExperienceBase()
+        theirs = ExperienceBase()
+        theirs.record(Episode(SIG_A, "R2", "short"))
+        ours.merge(theirs)
+        hits = ours.suggest(SIG_A)
+        assert hits and hits[0][0].component == "R2"
+
+    def test_merge_returns_self_for_chaining(self):
+        ours = ExperienceBase()
+        assert ours.merge(ExperienceBase()) is ours

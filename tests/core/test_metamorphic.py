@@ -9,7 +9,6 @@ a sound diagnoser:
 * adding measurements never turns a detected fault into "healthy".
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -2,14 +2,7 @@
 
 import pytest
 
-from repro.circuit import (
-    DCSolver,
-    Fault,
-    FaultKind,
-    apply_fault,
-    probe,
-    three_stage_amplifier,
-)
+from repro.circuit import DCSolver, Fault, FaultKind, apply_fault, three_stage_amplifier
 from repro.core import ExperienceBase, TroubleshootingSession
 
 
@@ -132,3 +125,48 @@ class TestExperienceFlow:
         session.confirm("R2", "short")
         session.next_unit()
         assert len(session.experience) == 1
+
+    def test_next_unit_resets_measurements_and_result(self, golden, bench):
+        session = TroubleshootingSession(golden)
+        session.observe_probe(bench, "vs")
+        assert session.measurements and session.has_observations
+        session.next_unit()
+        assert session.measurements == []
+        assert not session.has_observations
+        assert not session.unit_looks_healthy
+        with pytest.raises(RuntimeError):
+            session.result
+
+    def test_repeat_confirmations_across_units_reinforce(self, golden, bench):
+        session = TroubleshootingSession(golden)
+        for _ in range(3):
+            for net in ("vs", "v2", "v1"):
+                session.observe_probe(bench, net)
+            rule = session.confirm("R2", "short")
+            session.next_unit()
+        assert rule.occurrences == 3
+        assert session.experience.episode_count == 3
+        assert rule.certainty > session.experience.base_certainty
+
+    def test_shared_base_carries_between_sessions(self, golden, bench):
+        """A second bench (fresh session object) benefits from the first."""
+        shared = ExperienceBase()
+        first = TroubleshootingSession(golden, experience=shared)
+        for net in ("vs", "v2", "v1"):
+            first.observe_probe(bench, net)
+        first.confirm("R2", "short")
+
+        second = TroubleshootingSession(golden, experience=shared)
+        for net in ("vs", "v2", "v1"):
+            second.observe_probe(bench, net)
+        assert second.matching_experience()
+        assert second.candidates()[0][0] == "R2"
+        assert second.candidates()[0][1] > 1.0
+
+
+class TestConfigDefaults:
+    def test_default_config_is_per_instance(self, golden):
+        a = TroubleshootingSession(golden)
+        b = TroubleshootingSession(golden)
+        assert a.engine.config is not b.engine.config
+        assert a.engine.config.propagator is not b.engine.config.propagator

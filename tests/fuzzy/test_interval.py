@@ -1,6 +1,5 @@
 """Unit tests for the trapezoidal fuzzy interval (paper figure 1 & section 3)."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,72 @@
+"""Tests for the content-addressed LRU result cache."""
+
+import pytest
+
+from repro.service.cache import ResultCache
+from repro.service.jobs import JobResult
+
+
+def _result(unit="u", key="k"):
+    return JobResult(unit=unit, content_hash=key, status="ok")
+
+
+class TestLRU:
+    def test_get_miss_then_hit(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", _result(key="a"))
+        assert cache.get("a").content_hash == "a"
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_eviction_order(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", _result(key="a"))
+        cache.put("b", _result(key="b"))
+        cache.get("a")  # refresh a: b is now the LRU entry
+        cache.put("c", _result(key="c"))
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.evictions == 1
+
+    def test_overwrite_does_not_grow(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", _result(unit="first", key="a"))
+        cache.put("a", _result(unit="second", key="a"))
+        assert len(cache) == 1
+        assert cache.get("a").unit == "second"
+
+    def test_zero_capacity_never_stores(self):
+        cache = ResultCache(capacity=0)
+        cache.put("a", _result(key="a"))
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=-1)
+
+    def test_contains_does_not_count(self):
+        cache = ResultCache()
+        assert "a" not in cache
+        assert cache.misses == 0
+
+    def test_clear_keeps_counters(self):
+        cache = ResultCache()
+        cache.put("a", _result(key="a"))
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_snapshot(self):
+        cache = ResultCache(capacity=8)
+        cache.put("a", _result(key="a"))
+        cache.get("a")
+        cache.get("b")
+        snap = cache.snapshot()
+        assert snap["size"] == 1
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert snap["hit_rate"] == pytest.approx(0.5)

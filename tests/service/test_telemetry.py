@@ -1,0 +1,104 @@
+"""Tests for the structured telemetry collector."""
+
+import json
+import threading
+
+import pytest
+
+from repro.service.telemetry import Telemetry
+
+
+class TestCounters:
+    def test_incr_accumulates(self):
+        tel = Telemetry()
+        tel.incr("jobs")
+        tel.incr("jobs", 3)
+        assert tel.counter("jobs") == 4
+
+    def test_missing_counter_is_zero(self):
+        assert Telemetry().counter("nope") == 0
+
+    def test_thread_safety(self):
+        tel = Telemetry()
+
+        def bump():
+            for _ in range(1000):
+                tel.incr("n")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tel.counter("n") == 4000
+
+
+class TestObservations:
+    def test_summary_stats(self):
+        tel = Telemetry()
+        for v in (1.0, 2.0, 3.0):
+            tel.observe("latency", v)
+        obs = tel.snapshot()["observations"]["latency"]
+        assert obs["count"] == 3
+        assert obs["mean"] == pytest.approx(2.0)
+        assert obs["min"] == 1.0
+        assert obs["max"] == 3.0
+
+
+class TestPhases:
+    def test_phase_accumulates_wall_clock(self):
+        tel = Telemetry()
+        with tel.phase("work"):
+            pass
+        with tel.phase("work"):
+            pass
+        phase = tel.snapshot()["phases"]["work"]
+        assert phase["entries"] == 2
+        assert phase["seconds"] >= 0.0
+
+    def test_phase_records_even_on_exception(self):
+        tel = Telemetry()
+        with pytest.raises(RuntimeError):
+            with tel.phase("doomed"):
+                raise RuntimeError("boom")
+        assert tel.snapshot()["phases"]["doomed"]["entries"] == 1
+
+
+class TestEventsAndSnapshot:
+    def test_events_bounded(self):
+        tel = Telemetry(max_events=3)
+        for i in range(5):
+            tel.event("tick", index=i)
+        events = tel.snapshot()["events"]
+        assert len(events) == 3
+        assert events[0]["index"] == 2
+
+    def test_snapshot_is_json_safe(self):
+        tel = Telemetry()
+        tel.incr("jobs")
+        tel.observe("latency", 0.5)
+        with tel.phase("work"):
+            pass
+        tel.event("done", unit="u1")
+        json.dumps(tel.snapshot())
+
+    def test_summary_mentions_everything(self):
+        tel = Telemetry()
+        tel.incr("jobs_ok", 2)
+        tel.observe("job_seconds", 0.25)
+        with tel.phase("execute"):
+            pass
+        text = tel.summary(title="fleet telemetry")
+        assert "fleet telemetry" in text
+        assert "jobs_ok: 2" in text
+        assert "execute" in text
+        assert "job_seconds" in text
+
+    def test_empty_summary(self):
+        assert "(empty)" in Telemetry().summary()
+
+    def test_reset(self):
+        tel = Telemetry()
+        tel.incr("jobs")
+        tel.reset()
+        assert tel.counter("jobs") == 0

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -45,6 +47,95 @@ class TestDiagnose:
     def test_bad_probe_spec(self, divider_netlist):
         with pytest.raises(SystemExit):
             main(["diagnose", divider_netlist, "--probe", "mid"])
+
+    def test_imprecision_flag_sets_measurement_spread(self, divider_netlist, capsys):
+        main(["diagnose", divider_netlist, "--probe", "mid=7.0",
+              "--imprecision", "0.25", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        [m] = payload["measurements"]
+        assert m["value"] == [7.0, 7.0, 0.25, 0.25]
+
+    def test_json_output(self, divider_netlist, capsys):
+        code = main(["diagnose", divider_netlist, "--probe", "mid=7.0", "--json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "faulty"
+        assert payload["circuit"] == "cli divider"
+        assert payload["measurements"][0]["point"] == "V(mid)"
+        assert len(payload["measurements"][0]["value"]) == 4
+        assert payload["suspicions"]
+        assert payload["refinements"]
+
+    def test_json_healthy(self, divider_netlist, capsys):
+        assert main(["diagnose", divider_netlist, "--probe", "mid=6.0", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "consistent"
+        assert payload["candidates"] == []
+
+
+@pytest.fixture()
+def manifest(tmp_path, divider_netlist):
+    """A small fleet: duplicated healthy/faulty units plus one crasher."""
+    jobs = []
+    for i in range(3):
+        jobs.append({"unit": f"healthy-{i}", "netlist": divider_netlist,
+                     "probes": {"mid": 6.0}})
+    for i in range(3):
+        jobs.append({"unit": f"faulty-{i}", "netlist": divider_netlist,
+                     "probes": {"mid": 7.5},
+                     "confirm": {"component": "Rbot", "mode": "high"}})
+    jobs.append({"unit": "crasher", "netlist_text": "Rbroken top 0\n",
+                 "probes": {"mid": 1.0}})
+    path = tmp_path / "manifest.json"
+    path.write_text(json.dumps({"jobs": jobs}))
+    return str(path)
+
+
+class TestBatch:
+    ARGS = ["--workers", "2", "--executor", "thread"]
+
+    def test_fleet_report(self, manifest, capsys):
+        code = main(["batch", manifest] + self.ARGS)
+        assert code == 1  # the crasher surfaces in the exit code
+        out = capsys.readouterr().out
+        assert "fleet of 7 units" in out
+        assert "healthy-0: healthy" in out
+        assert "(cached)" in out  # duplicated units replayed
+        assert "faulty-0: faulty" in out
+        assert "crasher: ERROR" in out
+        assert "fleet telemetry" in out
+        assert "experience: 1 rule(s)" in out
+
+    def test_json_report(self, manifest, capsys):
+        code = main(["batch", manifest, "--json"] + self.ARGS)
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["results"]) == 7
+        statuses = {r["unit"]: r["status"] for r in payload["results"]}
+        assert statuses["crasher"] == "error"
+        assert payload["telemetry"]["counters"]["cache_hits"] > 0
+        assert payload["rules_learned"] == 1
+
+    def test_repeat_warms_cache(self, manifest, capsys):
+        code = main(["batch", manifest, "--repeat", "2", "--json"] + self.ARGS)
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        # second pass: every healthy/faulty unit replays from cache
+        hits = [r for r in payload["results"] if r["cache_hit"]]
+        assert len(hits) == 6
+
+    def test_all_ok_exit_zero(self, tmp_path, divider_netlist, capsys):
+        path = tmp_path / "ok.json"
+        path.write_text(json.dumps([
+            {"unit": "a", "netlist": divider_netlist, "probes": {"mid": 6.0}},
+        ]))
+        assert main(["batch", str(path)] + self.ARGS) == 0
+
+    def test_bad_manifest_exit_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        assert main(["batch", str(path)] + self.ARGS) == 2
+        assert "bad manifest" in capsys.readouterr().err
 
 
 class TestTables:
