@@ -1,0 +1,209 @@
+"""Diagnosis-server throughput benchmarks.
+
+The server-mode counterpart of ``bench_service.py``: a
+:class:`~repro.server.DiagnosisServer` on an ephemeral port, driven
+over real sockets by :class:`~repro.server.DiagnosisClient` threads.
+Reported:
+
+* **sustained concurrency** — 50 concurrent in-flight ``POST
+  /v1/diagnose`` requests on the demo three-stage amplifier, zero
+  dropped (every accepted request answered 200, none errored);
+* **requests/sec vs concurrency** — warm-cache throughput at client
+  concurrency 1/8/25/50;
+* **cold vs warm cache** — the first diagnosis of a given content pays
+  the full fuzzy-propagation pass; the repeat replays from the
+  content-addressed cache and must be measurably faster.
+
+Timing *assertions* are lenient (warm < cold only) so slow CI runners
+emit the tables without flaking; run as a module for the tables alone:
+
+    PYTHONPATH=src python -m benchmarks.bench_server
+"""
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.circuit.faults import Fault, FaultKind, apply_fault
+from repro.circuit.library import three_stage_amplifier
+from repro.circuit.measurements import probe_all
+from repro.circuit.simulate import DCSolver
+from repro.circuit.spice import write_netlist
+from repro.server import DiagnosisClient, DiagnosisServer, ServerConfig
+from repro.service.jobs import measurement_to_dict
+
+PROBES = ("vs", "v2", "v1")
+
+#: Recurring demo-circuit defects (a realistic warm-cache mix).
+FAULTS = [
+    Fault(FaultKind.SHORT, "R2"),
+    Fault(FaultKind.OPEN, "R3"),
+    Fault(FaultKind.PARAM, "R2", parameter="resistance", value=12.18e3),
+    Fault(FaultKind.PARAM, "R4", parameter="resistance", value=3.6e3),
+    Fault(FaultKind.SHORT, "R5"),
+]
+
+
+def demo_specs(count: int):
+    """``count`` job specs drawn round-robin from the demo defects."""
+    golden = three_stage_amplifier()
+    netlist = write_netlist(golden)
+    benches = []
+    for fault in FAULTS:
+        op = DCSolver(apply_fault(golden, fault)).solve()
+        benches.append(probe_all(op, PROBES, imprecision=0.02))
+    return [
+        {
+            "unit": f"unit-{i:03d}",
+            "netlist_text": netlist,
+            "measurements": [
+                measurement_to_dict(m) for m in benches[i % len(benches)]
+            ],
+        }
+        for i in range(count)
+    ]
+
+
+class ServerHarness:
+    """A server on a background thread, for benchmarks and the smoke run."""
+
+    def __init__(self, **overrides):
+        options = dict(port=0, workers=4, queue_size=64, timeout=60.0)
+        options.update(overrides)
+        self.server = DiagnosisServer(ServerConfig(**options))
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+        try:
+            self.loop.run_until_complete(self.server.serve())
+        finally:
+            self.loop.close()
+
+    def __enter__(self):
+        self.thread.start()
+        deadline = time.time() + 10
+        while self.server.port is None and time.time() < deadline:
+            time.sleep(0.01)
+        assert self.server.port, "server did not bind"
+        return self
+
+    def __exit__(self, *exc_info):
+        if self.thread.is_alive():
+            self.loop.call_soon_threadsafe(self.server.request_shutdown)
+        self.thread.join(timeout=30)
+
+    def client(self, **kwargs):
+        kwargs.setdefault("timeout", 120.0)
+        kwargs.setdefault("retries", 4)
+        kwargs.setdefault("backoff", 0.05)
+        return DiagnosisClient(port=self.server.port, **kwargs)
+
+
+def fire_concurrent(harness, specs):
+    """One request per spec, all in flight together; returns (wall, results)."""
+    barrier = threading.Barrier(len(specs))
+
+    def one(spec):
+        with harness.client() as client:
+            barrier.wait(timeout=60)
+            return client.diagnose(spec)
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=len(specs)) as pool:
+        results = list(pool.map(one, specs))
+    return time.perf_counter() - start, results
+
+
+def run_sustained_concurrency(inflight: int = 50):
+    """The acceptance drill: ``inflight`` concurrent diagnoses, zero dropped."""
+    specs = demo_specs(inflight)
+    with ServerHarness(workers=4, queue_size=max(64, inflight)) as harness:
+        wall, results = fire_concurrent(harness, specs)
+        depth = harness.server.admission.depth()
+    dropped = [r for r in results if r.get("status") != "ok"]
+    lines = [
+        f"server sustained concurrency ({inflight} in-flight POST /v1/diagnose, "
+        "workers=4)",
+        f"  wall-clock: {wall:6.2f}s  ({inflight / wall:6.1f} req/s)",
+        f"  ok: {len(results) - len(dropped)}/{len(results)}  dropped: {len(dropped)}",
+        f"  peak active/waiting: {depth['peak_active']}/{depth['peak_waiting']}  "
+        f"shed (503): {depth['rejected']}",
+    ]
+    return "\n".join(lines), results, dropped
+
+
+def run_concurrency_sweep(levels=(1, 8, 25, 50)):
+    """Warm-cache requests/sec at increasing client concurrency."""
+    specs = demo_specs(max(levels))
+    lines = ["server throughput vs concurrency (warm cache, workers=4)"]
+    with ServerHarness(workers=4, queue_size=max(levels)) as harness:
+        with harness.client() as warmup:
+            for spec in demo_specs(len(FAULTS)):
+                warmup.diagnose(spec)
+        for level in levels:
+            wall, results = fire_concurrent(harness, specs[:level])
+            assert all(r["status"] == "ok" for r in results)
+            lines.append(
+                f"  concurrency={level:3d}: {wall:7.3f}s  {level / wall:7.1f} req/s"
+            )
+    return "\n".join(lines)
+
+
+def run_cold_vs_warm():
+    """First-touch latency vs cached repeat, through the full HTTP stack."""
+    spec = demo_specs(1)[0]
+    with ServerHarness() as harness:
+        with harness.client() as client:
+            start = time.perf_counter()
+            cold_result = client.diagnose(spec)
+            cold = time.perf_counter() - start
+            start = time.perf_counter()
+            warm_result = client.diagnose(spec)
+            warm = time.perf_counter() - start
+    lines = [
+        "server cold vs warm cache (same request repeated, full HTTP stack)",
+        f"  cold: {cold * 1000:8.2f} ms  (cache_hit={cold_result['cache_hit']})",
+        f"  warm: {warm * 1000:8.2f} ms  (cache_hit={warm_result['cache_hit']})",
+        f"  speedup: x{cold / warm:.1f}",
+    ]
+    return "\n".join(lines), cold, warm, cold_result, warm_result
+
+
+class TestSustainedConcurrency:
+    def test_50_concurrent_diagnoses_zero_dropped(self, emit):
+        table, results, dropped = run_sustained_concurrency(50)
+        emit("server-concurrency", table)
+        assert len(results) == 50
+        assert not dropped
+
+    def test_throughput_sweep(self, emit):
+        emit("server-sweep", run_concurrency_sweep())
+
+
+class TestColdVsWarm:
+    def test_warm_repeat_measurably_faster(self, emit):
+        table, cold, warm, cold_result, warm_result = run_cold_vs_warm()
+        emit("server-cache", table)
+        assert not cold_result["cache_hit"]
+        assert warm_result["cache_hit"]
+        assert warm_result["diagnosis"] == cold_result["diagnosis"]
+        assert warm < cold
+
+
+def main():  # pragma: no cover - manual entry point
+    table, _, dropped = run_sustained_concurrency(50)
+    print(table)
+    assert not dropped, f"{len(dropped)} requests dropped"
+    print()
+    print(run_concurrency_sweep())
+    print()
+    table, cold, warm, *_ = run_cold_vs_warm()
+    print(table)
+    assert warm < cold, "warm repeat was not faster than the cold request"
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -12,6 +12,9 @@ Commands:
 * ``batch MANIFEST`` — fleet mode: run a JSON manifest of diagnosis
   jobs through the parallel :class:`~repro.service.FleetEngine` with
   result caching and telemetry (see README "Fleet mode").
+* ``serve`` — server mode: keep a warm engine resident and serve
+  diagnosis over HTTP/JSON with admission control and graceful drain
+  (see README "Server mode").
 * ``simulate NETLIST`` — print the DC operating point of a netlist.
 * ``demo`` — the quickstart walk-through on the three-stage amplifier.
 """
@@ -158,9 +161,28 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             print(f"  {res.unit}: {res.status.upper()} — {reason}")
     if report.rules_learned:
         print(f"experience: {report.rules_learned} rule(s) merged into the shared base")
+    cache = report.cache or engine.cache.snapshot()
+    print(f"cache: {cache['hits']} hit(s), {cache['misses']} miss(es), "
+          f"{cache['evictions']} eviction(s), hit rate {cache['hit_rate']:.0%} "
+          f"({cache['size']}/{cache['capacity']} slots)")
     print()
     print(engine.telemetry.summary(title="fleet telemetry"))
     return 0 if not report.failed else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server.app import main as serve_main
+
+    forwarded = [
+        "--host", args.host,
+        "--port", str(args.port),
+        "--workers", str(args.workers),
+        "--queue-size", str(args.queue_size),
+        "--cache-size", str(args.cache_size),
+        "--timeout", str(args.timeout),
+        "--retries", str(args.retries),
+    ]
+    return serve_main(forwarded)
 
 
 def _cmd_demo(_args: argparse.Namespace) -> int:
@@ -254,6 +276,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the full batch report as JSON (results + telemetry)",
     )
     batch.set_defaults(func=_cmd_batch)
+
+    serve = sub.add_parser(
+        "serve", help="server mode: diagnosis over HTTP/JSON from a warm engine"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="bind port; 0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="concurrent diagnosis slots (default 4)"
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=64,
+        help="requests allowed to wait for a slot before 503s (default 64)",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=1024, help="result-cache capacity (default 1024)"
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request budget in seconds (default 30)",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts for crashed jobs (default 1)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     demo = sub.add_parser("demo", help="diagnose a shorted resistor on the paper's amplifier")
     demo.set_defaults(func=_cmd_demo)

@@ -1,0 +1,443 @@
+"""The diagnosis server: a long-lived owner of the fleet engine.
+
+One process keeps a warm :class:`~repro.service.FleetEngine` — its
+content-addressed :class:`~repro.service.ResultCache`, shared
+:class:`~repro.service.Telemetry` and learned
+:class:`~repro.core.learning.ExperienceBase` — resident, and serves
+diagnosis over HTTP/JSON (stdlib asyncio only):
+
+* ``POST /v1/diagnose`` — one job (the batch-manifest job spec shape,
+  netlist inlined as ``netlist_text``) → one JobResult;
+* ``POST /v1/batch``    — ``{"jobs": [...]}`` fanned out through the
+  engine's worker pool → results in job order;
+* ``GET /healthz``      — liveness;
+* ``GET /readyz``       — readiness (503 while draining);
+* ``GET /metrics``      — telemetry + cache + admission-queue snapshot.
+
+Operational behaviour, in one place:
+
+* **admission control** — at most ``workers`` requests execute at once
+  (CPU-bound work runs on a thread-pool executor of that width) and at
+  most ``queue_size`` more may wait; beyond that the server sheds load
+  with ``503`` + ``Retry-After`` (see :mod:`repro.server.queueing`);
+* **per-request timeout** — a request that exceeds ``timeout`` seconds
+  gets ``504``; the worker thread finishes in the background and still
+  warms the cache for the retry;
+* **graceful drain** — SIGTERM/SIGINT stops accepting connections,
+  answers in-flight requests, flushes a final telemetry summary to the
+  log, then exits 0;
+* **structured logging** — one JSON line per request with a request id
+  (also echoed in the ``X-Request-Id`` response header), method, path,
+  status, queue wait and handling time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import itertools
+import json
+import logging
+import signal
+import time
+import uuid
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.server.http import (
+    HttpError,
+    HttpRequest,
+    error_payload,
+    read_request,
+    write_response,
+)
+from repro.server.queueing import AdmissionQueue, QueueFullError
+from repro.service import FleetEngine, ManifestError, job_from_spec
+from repro.service.jobs import DiagnosisJob
+
+__all__ = ["ServerConfig", "DiagnosisServer", "run", "main"]
+
+log = logging.getLogger("repro.server")
+
+
+@dataclass
+class ServerConfig:
+    """Everything ``repro serve`` can tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080  # 0 = ephemeral (the bound port lands in server.port)
+    workers: int = 4
+    queue_size: int = 64
+    cache_size: int = 1024
+    timeout: float = 30.0  # per-request budget, seconds
+    retries: int = 1
+    drain_grace: float = 30.0  # seconds to wait for in-flight work on shutdown
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("need at least one worker")
+        if self.queue_size < 0:
+            raise ValueError("queue size must be non-negative")
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+
+
+class DiagnosisServer:
+    """Asyncio HTTP front end over a shared, warm fleet engine."""
+
+    def __init__(self, config: ServerConfig, engine: Optional[FleetEngine] = None):
+        self.config = config
+        self.engine = engine or FleetEngine(
+            workers=config.workers,
+            executor="thread",
+            retries=config.retries,
+            cache_size=config.cache_size,
+        )
+        self.telemetry = self.engine.telemetry
+        self.admission = AdmissionQueue(config.workers, config.queue_size)
+        self._executor = ThreadPoolExecutor(
+            max_workers=config.workers, thread_name_prefix="diagnose"
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: set = set()
+        self._inflight = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._shutdown = asyncio.Event()
+        self._draining = False
+        self._started = time.monotonic()
+        self._mean_job_seconds = 0.1  # EWMA; seeds the Retry-After estimate
+        self._request_ids = itertools.count(1)
+        self._id_prefix = uuid.uuid4().hex[:8]
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting (resolves ``self.port``)."""
+        self._started = time.monotonic()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        log.info(
+            json.dumps(
+                {
+                    "event": "listening",
+                    "host": self.config.host,
+                    "port": self.port,
+                    "workers": self.config.workers,
+                    "queue_size": self.config.queue_size,
+                }
+            )
+        )
+
+    def request_shutdown(self) -> None:
+        """Begin the drain (signal-handler and test entry point)."""
+        if not self._draining:
+            self._draining = True
+            self.telemetry.event("server_drain_begin")
+            self._shutdown.set()
+
+    async def serve(self) -> None:
+        """Run until a shutdown is requested, then drain and exit."""
+        if self._server is None:
+            await self.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_shutdown)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or platform without signal support
+        try:
+            await self._shutdown.wait()
+        finally:
+            await self._drain()
+
+    async def _drain(self) -> None:
+        """Stop accepting, finish in-flight work, flush telemetry."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=self.config.drain_grace)
+            drained = True
+        except asyncio.TimeoutError:
+            drained = False
+        connections = [conn for conn in self._connections if not conn.done()]
+        for conn in connections:
+            conn.cancel()
+        if connections:
+            await asyncio.gather(*connections, return_exceptions=True)
+        self._executor.shutdown(wait=drained)
+        self.telemetry.event("server_drain_end", clean=drained)
+        log.info(
+            json.dumps(
+                {
+                    "event": "drained",
+                    "clean": drained,
+                    "uptime_seconds": round(time.monotonic() - self._started, 3),
+                    "admitted": self.admission.admitted,
+                    "rejected": self.admission.rejected,
+                }
+            )
+        )
+        log.info(self.telemetry.summary(title="server telemetry"))
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except HttpError as exc:
+                    await write_response(
+                        writer, exc.status, error_payload(exc.status, exc.message),
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                keep_alive = await self._dispatch(request, writer)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: HttpRequest, writer) -> bool:
+        """Route one request, write one response; returns keep-alive."""
+        request_id = f"{self._id_prefix}-{next(self._request_ids):06d}"
+        started = time.perf_counter()
+        self._inflight += 1
+        self._idle.clear()
+        status = 500
+        extra = {"X-Request-Id": request_id}
+        keep_alive = request.keep_alive and not self._draining
+        try:
+            status, payload, headers = await self._route(request, request_id)
+            extra.update(headers)
+        except QueueFullError as exc:
+            status = 503
+            payload = error_payload(503, str(exc), request_id)
+            extra["Retry-After"] = f"{exc.retry_after:g}"
+        except asyncio.TimeoutError:
+            status = 504
+            payload = error_payload(
+                504, f"request exceeded the {self.config.timeout:g}s budget", request_id
+            )
+        except HttpError as exc:
+            status = exc.status
+            payload = error_payload(exc.status, exc.message, request_id)
+            extra.update(exc.headers)
+        except Exception as exc:  # a handler bug must not kill the connection
+            status = 500
+            payload = error_payload(500, f"{type(exc).__name__}: {exc}", request_id)
+            log.exception("request %s failed", request_id)
+        finally:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+        elapsed = time.perf_counter() - started
+        self.telemetry.incr("http_requests")
+        self.telemetry.incr(f"http_status_{status}")
+        self.telemetry.observe(f"http_seconds_{request.method} {request.path}", elapsed)
+        log.info(
+            json.dumps(
+                {
+                    "request_id": request_id,
+                    "method": request.method,
+                    "path": request.path,
+                    "status": status,
+                    "elapsed_ms": round(elapsed * 1000, 3),
+                    "inflight": self._inflight,
+                    "queued": self.admission.waiting,
+                }
+            )
+        )
+        try:
+            await write_response(writer, status, payload, keep_alive, extra)
+        except (ConnectionResetError, BrokenPipeError):
+            return False
+        return keep_alive
+
+    # ------------------------------------------------------------------
+    # Routes
+    # ------------------------------------------------------------------
+    async def _route(
+        self, request: HttpRequest, request_id: str
+    ) -> Tuple[int, object, Dict[str, str]]:
+        path, method = request.path, request.method
+        if path == "/healthz":
+            if method != "GET":
+                raise HttpError(405, "use GET", {"Allow": "GET"})
+            return 200, {"status": "ok", "uptime_seconds": self._uptime()}, {}
+        if path == "/readyz":
+            if method != "GET":
+                raise HttpError(405, "use GET", {"Allow": "GET"})
+            if self._draining:
+                return 503, {"status": "draining"}, {}
+            return 200, {"status": "ready"}, {}
+        if path == "/metrics":
+            if method != "GET":
+                raise HttpError(405, "use GET", {"Allow": "GET"})
+            return 200, self._metrics(), {}
+        if path == "/v1/diagnose":
+            if method != "POST":
+                raise HttpError(405, "use POST", {"Allow": "POST"})
+            return await self._handle_diagnose(request, request_id)
+        if path == "/v1/batch":
+            if method != "POST":
+                raise HttpError(405, "use POST", {"Allow": "POST"})
+            return await self._handle_batch(request, request_id)
+        raise HttpError(404, f"no route {path!r}")
+
+    def _uptime(self) -> float:
+        return round(time.monotonic() - self._started, 3)
+
+    def _metrics(self) -> Dict:
+        return {
+            "server": {
+                "uptime_seconds": self._uptime(),
+                "draining": self._draining,
+                "inflight": self._inflight,
+                "mean_job_seconds": round(self._mean_job_seconds, 6),
+            },
+            "queue": self.admission.depth(),
+            "cache": self.engine.cache.snapshot(),
+            "experience_rules": len(self.engine.experience),
+            "telemetry": self.telemetry.snapshot(),
+        }
+
+    def _reject_if_draining(self) -> None:
+        if self._draining:
+            raise HttpError(503, "server is draining", {"Retry-After": "1"})
+
+    async def _handle_diagnose(
+        self, request: HttpRequest, request_id: str
+    ) -> Tuple[int, object, Dict[str, str]]:
+        self._reject_if_draining()
+        spec = request.json()
+        try:
+            job = job_from_spec(spec, index=0)
+        except ManifestError as exc:
+            raise HttpError(400, str(exc)) from None
+        result = await self._admitted(self.engine.run_job, job)
+        payload = result.to_dict()
+        payload["request_id"] = request_id
+        return 200, payload, {}
+
+    async def _handle_batch(
+        self, request: HttpRequest, request_id: str
+    ) -> Tuple[int, object, Dict[str, str]]:
+        self._reject_if_draining()
+        body = request.json()
+        specs = body.get("jobs") if isinstance(body, dict) else body
+        if not isinstance(specs, list) or not specs:
+            raise HttpError(400, "batch body needs a non-empty 'jobs' list")
+        try:
+            jobs: List[DiagnosisJob] = [
+                job_from_spec(spec, index) for index, spec in enumerate(specs)
+            ]
+        except ManifestError as exc:
+            raise HttpError(400, str(exc)) from None
+        report = await self._admitted(self.engine.run_batch, jobs)
+        payload = {
+            "request_id": request_id,
+            "results": [r.to_dict() for r in report.results],
+            "cache": report.cache,
+            "wall_clock": report.wall_clock,
+            "rules_learned": report.rules_learned,
+        }
+        return 200, payload, {}
+
+    async def _admitted(self, fn, arg):
+        """Run blocking engine work under admission control + timeout."""
+        async with self.admission.slot(self._mean_job_seconds):
+            loop = asyncio.get_running_loop()
+            started = time.perf_counter()
+            future = loop.run_in_executor(self._executor, fn, arg)
+            try:
+                result = await asyncio.wait_for(
+                    asyncio.shield(future), timeout=self.config.timeout
+                )
+            except asyncio.TimeoutError:
+                self.telemetry.incr("http_timeouts")
+                raise
+            elapsed = time.perf_counter() - started
+            self._mean_job_seconds = 0.8 * self._mean_job_seconds + 0.2 * elapsed
+            return result
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def run(config: ServerConfig) -> int:
+    """Blocking entry point: serve until SIGTERM/SIGINT, drain, return 0."""
+    server = DiagnosisServer(config)
+    asyncio.run(server.serve())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve", description="serve FLAMES diagnosis over HTTP/JSON"
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=8080, help="bind port; 0 picks an ephemeral port"
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="concurrent diagnosis slots (default 4)"
+    )
+    parser.add_argument(
+        "--queue-size", type=int, default=64,
+        help="requests allowed to wait for a slot before 503s (default 64)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="result-cache capacity (default 1024)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request budget in seconds (default 30)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts for crashed jobs (default 1)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(level=logging.INFO, format="%(message)s")
+    try:
+        config = ServerConfig(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            queue_size=args.queue_size,
+            cache_size=args.cache_size,
+            timeout=args.timeout,
+            retries=args.retries,
+        )
+    except ValueError as exc:
+        print(f"bad server options: {exc}", flush=True)
+        return 2
+    return run(config)

@@ -1,0 +1,186 @@
+"""A blocking HTTP client for the diagnosis server, with retries.
+
+:class:`DiagnosisClient` is the reference consumer of the server API —
+the tests, the smoke script and the throughput benchmark all drive the
+server through it.  Built on :mod:`http.client` (stdlib, blocking) so
+callers need no event loop; the connection is kept open across calls
+and transparently re-opened after a drop.
+
+Retry policy: ``503 Service Unavailable`` (load shed) and transport
+errors (connection refused/reset, timeouts) are retried with
+exponential backoff, honouring the server's ``Retry-After`` hint up to
+``max_delay``.  Any other non-2xx answer raises immediately —
+:class:`ClientError` carries the status and the server's JSON error
+body, so a 400 tells you exactly which field was malformed.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["DiagnosisClient", "ClientError", "ServerUnavailable"]
+
+
+class ClientError(Exception):
+    """A non-retryable (or retries-exhausted) HTTP-level failure."""
+
+    def __init__(self, status: int, payload: Dict):
+        message = payload.get("error", {}).get("message") if isinstance(payload, dict) else None
+        super().__init__(f"HTTP {status}: {message or payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ServerUnavailable(ClientError):
+    """503s / transport errors persisted through every retry."""
+
+    def __init__(self, detail: str, payload: Optional[Dict] = None):
+        ClientError.__init__(self, 503, payload or {"error": {"message": detail}})
+
+
+class DiagnosisClient:
+    """Connection-reusing JSON client with exponential-backoff retries.
+
+    Args:
+        host/port: where the server listens.
+        timeout: socket timeout per attempt, seconds.
+        retries: extra attempts after the first (0 = fail fast).
+        backoff: base delay, seconds; attempt *n* waits ``backoff * 2**n``.
+        max_delay: ceiling for any single wait, including ``Retry-After``
+            hints (keeps tests and interactive callers snappy).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 30.0,
+        retries: int = 4,
+        backoff: float = 0.1,
+        max_delay: float = 2.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.max_delay = max_delay
+        self._conn: Optional[http.client.HTTPConnection] = None
+        self.attempts_made = 0  # lifetime request attempts (visible to tests)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _drop_connection(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def close(self) -> None:
+        self._drop_connection()
+
+    def __enter__(self) -> "DiagnosisClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[object] = None,
+        retry_503: bool = True,
+    ) -> Dict:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        last_error: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self._delay(attempt - 1, last_error))
+            self.attempts_made += 1
+            try:
+                conn = self._connection()
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException, socket.timeout) as exc:
+                self._drop_connection()
+                last_error = exc
+                continue
+            data = self._decode(raw)
+            if response.status == 503 and retry_503:
+                last_error = ClientError(503, data)
+                retry_after = response.getheader("Retry-After")
+                if retry_after is not None:
+                    last_error.retry_after = retry_after  # type: ignore[attr-defined]
+                if response.getheader("Connection", "").lower() == "close":
+                    self._drop_connection()
+                continue
+            if response.status >= 400:
+                raise ClientError(response.status, data)
+            return data
+        if isinstance(last_error, ClientError):
+            raise ServerUnavailable(
+                f"server still overloaded after {self.retries + 1} attempts",
+                last_error.payload,
+            )
+        raise ServerUnavailable(
+            f"cannot reach {self.host}:{self.port} after {self.retries + 1} attempts: "
+            f"{last_error}"
+        )
+
+    def _delay(self, completed_attempts: int, last_error: Optional[Exception]) -> float:
+        delay = self.backoff * (2 ** completed_attempts)
+        hint = getattr(last_error, "retry_after", None)
+        if hint is not None:
+            try:
+                delay = max(delay, float(hint))
+            except ValueError:
+                pass
+        return min(delay, self.max_delay)
+
+    @staticmethod
+    def _decode(raw: bytes) -> Dict:
+        try:
+            data = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            data = {"error": {"message": raw.decode("latin-1", "replace")}}
+        return data if isinstance(data, dict) else {"value": data}
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def health(self) -> Dict:
+        return self._request("GET", "/healthz")
+
+    def ready(self) -> Dict:
+        """Readiness probe; raises :class:`ClientError` 503 while draining."""
+        return self._request("GET", "/readyz", retry_503=False)
+
+    def metrics(self) -> Dict:
+        return self._request("GET", "/metrics")
+
+    def diagnose(self, spec: Dict) -> Dict:
+        """POST one job spec (the batch-manifest job shape) → JobResult dict."""
+        return self._request("POST", "/v1/diagnose", spec)
+
+    def batch(self, specs: List[Dict]) -> Dict:
+        """POST a list of job specs → results in job order."""
+        return self._request("POST", "/v1/batch", {"jobs": list(specs)})

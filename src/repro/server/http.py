@@ -1,0 +1,198 @@
+"""Minimal HTTP/1.1 framing over asyncio streams — no dependencies.
+
+The diagnosis server speaks a deliberately small slice of HTTP: JSON
+bodies, ``Content-Length`` framing (chunked uploads are refused with
+501), keep-alive connections, and a handful of routes.  This module
+owns the wire format so :mod:`repro.server.app` can deal purely in
+:class:`HttpRequest` objects and ``(status, payload)`` pairs:
+
+* :func:`read_request` — parse one request off a stream reader, with
+  hard limits on header and body size (an overload server must not be
+  OOM-able by one fat request);
+* :func:`render_response` — serialise a JSON response with correct
+  framing and connection semantics;
+* :class:`HttpError` — raisable anywhere in a handler to short-circuit
+  into a structured JSON error response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "read_request",
+    "render_response",
+    "write_response",
+    "error_payload",
+    "parse_response_bytes",
+    "REASONS",
+]
+
+#: Reason phrases for the statuses the server actually emits.
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class HttpError(Exception):
+    """A request-level failure that maps straight to a JSON error response."""
+
+    def __init__(self, status: int, message: str, headers: Optional[Dict[str, str]] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = dict(headers or {})
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split target, headers, raw body."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)  # keys lower-cased
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+    def json(self) -> object:
+        """Decode the body as JSON (raises :class:`HttpError` 400)."""
+        if not self.body:
+            raise HttpError(400, "request body must be JSON, got an empty body")
+        try:
+            return json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") from None
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_header: int = MAX_HEADER_BYTES,
+    max_body: int = MAX_BODY_BYTES,
+) -> Optional[HttpRequest]:
+    """Parse one request; ``None`` means the peer closed between requests."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between keep-alive requests
+        raise HttpError(400, "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, f"request head exceeds {max_header} bytes") from None
+    if len(head) > max_header:
+        raise HttpError(413, f"request head exceeds {max_header} bytes")
+
+    try:
+        request_line, *header_lines = head.decode("latin-1").split("\r\n")[:-2]
+    except UnicodeDecodeError:
+        raise HttpError(400, "undecodable request head") from None
+    parts = request_line.split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {request_line!r}")
+    method, target, _version = parts
+
+    headers: Dict[str, str] = {}
+    for line in header_lines:
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(501, "chunked request bodies are not supported")
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+            if length < 0:
+                raise ValueError
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length {headers['content-length']!r}") from None
+        if length > max_body:
+            raise HttpError(413, f"request body exceeds {max_body} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "request body shorter than Content-Length") from None
+
+    split = urlsplit(target)
+    query = {k: v[-1] for k, v in parse_qs(split.query).items()}
+    return HttpRequest(
+        method=method.upper(), path=split.path, query=query, headers=headers, body=body
+    )
+
+
+def render_response(
+    status: int,
+    payload: object,
+    keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """Serialise a JSON response (headers + body) ready for one write."""
+    body = json.dumps(payload, sort_keys=True).encode() + b"\n"
+    reason = REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def error_payload(status: int, message: str, request_id: str = "") -> Dict:
+    """The uniform JSON error body: ``{"error": {...}}``."""
+    payload = {"error": {"status": status, "message": message}}
+    if request_id:
+        payload["error"]["request_id"] = request_id
+    return payload
+
+
+async def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: object,
+    keep_alive: bool = True,
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> None:
+    writer.write(render_response(status, payload, keep_alive, extra_headers))
+    await writer.drain()
+
+
+def parse_response_bytes(raw: bytes) -> Tuple[int, Dict[str, str], bytes]:
+    """Split a rendered response back into (status, headers, body).
+
+    Test helper — the production client uses :mod:`http.client`.
+    """
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, body

@@ -1,0 +1,104 @@
+"""Admission control and backpressure for the diagnosis server.
+
+A diagnosis pass is CPU-bound and takes a meaningfully long time, so an
+overloaded server must *shed* load, not buffer it without bound.  The
+policy lives here:
+
+* at most ``workers`` requests execute concurrently (an asyncio
+  semaphore sized to the engine's executor threads);
+* at most ``queue_size`` further requests may *wait* for a slot;
+* anything beyond that is refused immediately with
+  :class:`QueueFullError`, which the app layer turns into
+  ``503 Service Unavailable`` plus a ``Retry-After`` hint derived from
+  the current backlog and the observed mean job latency.
+
+The gauge side (:meth:`AdmissionQueue.depth`) feeds ``GET /metrics``:
+active slots, waiting requests, high-water marks and the running total
+of rejections.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from contextlib import asynccontextmanager
+from typing import AsyncIterator, Dict
+
+__all__ = ["AdmissionQueue", "QueueFullError"]
+
+
+class QueueFullError(Exception):
+    """The bounded wait queue is full; the request must be shed."""
+
+    def __init__(self, retry_after: float):
+        super().__init__(f"admission queue full; retry after ~{retry_after:g}s")
+        self.retry_after = retry_after
+
+
+class AdmissionQueue:
+    """Bounded concurrency plus a bounded wait queue, with gauges.
+
+    Only ever touched from the event-loop thread, so plain attributes
+    are safe; the executing work itself runs elsewhere.
+    """
+
+    def __init__(self, workers: int, queue_size: int) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker slot")
+        if queue_size < 0:
+            raise ValueError("queue size must be non-negative")
+        self.workers = workers
+        self.queue_size = queue_size
+        self._slots = asyncio.Semaphore(workers)
+        self.active = 0
+        self.waiting = 0
+        self.peak_active = 0
+        self.peak_waiting = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    def retry_after(self, mean_job_seconds: float) -> float:
+        """Seconds until a shed client plausibly finds a free slot."""
+        backlog = self.waiting + self.active
+        estimate = backlog * max(mean_job_seconds, 0.05) / self.workers
+        return float(max(1, min(30, math.ceil(estimate))))
+
+    @asynccontextmanager
+    async def slot(self, mean_job_seconds: float = 0.0) -> AsyncIterator[None]:
+        """Hold one execution slot; raises :class:`QueueFullError` when shed.
+
+        Admission is bounded on *total outstanding work*: up to
+        ``workers`` executing plus ``queue_size`` waiting.  With
+        ``queue_size=0`` a request is still admitted whenever a slot is
+        free — only the wait queue is eliminated.
+        """
+        if self.active + self.waiting >= self.workers + self.queue_size:
+            self.rejected += 1
+            raise QueueFullError(self.retry_after(mean_job_seconds))
+        self.waiting += 1
+        self.peak_waiting = max(self.peak_waiting, self.waiting)
+        try:
+            await self._slots.acquire()
+        finally:
+            self.waiting -= 1
+        self.active += 1
+        self.peak_active = max(self.peak_active, self.active)
+        self.admitted += 1
+        try:
+            yield
+        finally:
+            self.active -= 1
+            self._slots.release()
+
+    def depth(self) -> Dict:
+        """Gauges for ``/metrics``: occupancy, peaks, shed count."""
+        return {
+            "workers": self.workers,
+            "queue_size": self.queue_size,
+            "active": self.active,
+            "waiting": self.waiting,
+            "peak_active": self.peak_active,
+            "peak_waiting": self.peak_waiting,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+        }

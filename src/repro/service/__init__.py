@@ -15,7 +15,9 @@ single-session engine into a throughput-oriented service:
 * :mod:`repro.service.telemetry` — structured counters, phase timers
   and events (:class:`Telemetry`).
 
-The ``python -m repro batch`` subcommand is the CLI front end.
+The ``python -m repro batch`` subcommand is the CLI front end;
+:mod:`repro.server` keeps an engine resident behind an HTTP/JSON API
+(``python -m repro serve``).
 """
 
 from repro.service.cache import ResultCache
@@ -25,6 +27,7 @@ from repro.service.jobs import (
     JobResult,
     ManifestError,
     diagnosis_to_dict,
+    job_from_spec,
     load_manifest,
     measurement_from_dict,
     measurement_to_dict,
@@ -38,6 +41,7 @@ __all__ = [
     "JobResult",
     "ManifestError",
     "diagnosis_to_dict",
+    "job_from_spec",
     "load_manifest",
     "measurement_from_dict",
     "measurement_to_dict",

@@ -8,9 +8,12 @@ stored :class:`~repro.service.jobs.JobResult`.
 
 Only *successful* results are worth keeping (errors are cheap to
 reproduce and usually transient); the :class:`FleetEngine` enforces
-that policy, the cache itself is policy-free.  All operations are
-thread-safe; ``get``/``put`` maintain hit/miss/eviction counters that
-feed the service telemetry.
+that policy, the cache itself is policy-free.  Every operation —
+including ``len``, membership tests and ``snapshot`` — takes the
+internal lock, so one instance can be shared freely between the
+diagnosis server's asyncio event loop and its executor threads;
+``get``/``put`` maintain hit/miss/eviction counters that feed the
+service telemetry.
 """
 
 from __future__ import annotations
@@ -38,11 +41,13 @@ class ResultCache:
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
         """Membership test without touching recency or the counters."""
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: str) -> Optional[JobResult]:
         """Look up a result, counting the hit/miss and refreshing recency."""
@@ -73,16 +78,19 @@ class ResultCache:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def snapshot(self) -> Dict:
-        """Counters and occupancy as a plain dict (for telemetry)."""
-        return {
-            "capacity": self.capacity,
-            "size": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "hit_rate": round(self.hit_rate, 4),
-        }
+        """Counters and occupancy as one consistent plain dict."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "hit_rate": round(self.hits / total, 4) if total else 0.0,
+            }

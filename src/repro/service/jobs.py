@@ -15,6 +15,8 @@ schedules:
 * :func:`diagnosis_to_dict` — the JSON shape shared between
   ``python -m repro diagnose --json`` and the batch service, so a
   diagnose run's output slots straight into a batch manifest;
+* :func:`job_from_spec` — turns one JSON job spec into a job; shared
+  by the manifest reader and the diagnosis server's request parsing;
 * :func:`load_manifest` — reads the JSON job manifest the ``batch``
   CLI consumes.
 
@@ -48,6 +50,7 @@ __all__ = [
     "diagnosis_to_dict",
     "measurement_to_dict",
     "measurement_from_dict",
+    "job_from_spec",
     "load_manifest",
     "ManifestError",
 ]
@@ -304,7 +307,16 @@ class JobResult:
 # ----------------------------------------------------------------------
 # Manifests
 # ----------------------------------------------------------------------
-def _job_from_spec(spec: Dict, index: int, base_dir: Path) -> DiagnosisJob:
+def job_from_spec(
+    spec: Dict, index: int = 0, base_dir: Optional[Path] = None
+) -> DiagnosisJob:
+    """Turn one JSON job spec into a :class:`DiagnosisJob`.
+
+    ``base_dir`` anchors relative ``netlist`` paths; when it is None —
+    the diagnosis server parsing an untrusted network request — path
+    specs are rejected outright and the design must arrive inline as
+    ``netlist_text``.  Raises :class:`ManifestError` on any bad spec.
+    """
     if not isinstance(spec, dict):
         raise ManifestError(f"job #{index}: expected an object, got {type(spec).__name__}")
     unit = str(spec.get("unit", f"unit-{index:03d}"))
@@ -312,6 +324,11 @@ def _job_from_spec(spec: Dict, index: int, base_dir: Path) -> DiagnosisJob:
     if "netlist_text" in spec:
         text = str(spec["netlist_text"])
     elif "netlist" in spec:
+        if base_dir is None:
+            raise ManifestError(
+                f"job {unit!r}: 'netlist' file paths are not accepted here; "
+                "inline the design as 'netlist_text'"
+            )
         path = Path(spec["netlist"])
         if not path.is_absolute():
             path = base_dir / path
@@ -370,4 +387,4 @@ def load_manifest(path: Union[str, Path]) -> List[DiagnosisJob]:
     if not isinstance(specs, list) or not specs:
         raise ManifestError(f"manifest {path} holds no jobs")
     base = path.resolve().parent
-    return [_job_from_spec(spec, i, base) for i, spec in enumerate(specs)]
+    return [job_from_spec(spec, i, base) for i, spec in enumerate(specs)]

@@ -84,6 +84,7 @@ class BatchReport:
 
     results: List[JobResult]
     telemetry: Dict = field(default_factory=dict)
+    cache: Dict = field(default_factory=dict)
     wall_clock: float = 0.0
     rules_learned: int = 0
 
@@ -103,6 +104,7 @@ class BatchReport:
         return {
             "results": [r.to_dict() for r in self.results],
             "telemetry": self.telemetry,
+            "cache": self.cache,
             "wall_clock": self.wall_clock,
             "rules_learned": self.rules_learned,
         }
@@ -204,16 +206,7 @@ class FleetEngine:
             learned = self._merge_experience(jobs, ordered)
 
         for res in ordered:
-            tel.incr(f"jobs_{res.status}")
-            if res.cache_hit:
-                continue
-            if res.elapsed:
-                tel.observe("job_seconds", res.elapsed)
-            stats = res.diagnosis.get("stats", {})
-            if stats:
-                tel.incr("propagation_passes")
-                tel.incr("propagation_steps", stats.get("propagation_steps", 0))
-                tel.incr("nogoods_found", stats.get("nogoods", 0))
+            self._record_result(res)
         cache_snap = self.cache.snapshot()
         tel.incr("cache_hits", cache_snap["hits"] - tel.counter("cache_hits"))
         tel.incr("cache_misses", cache_snap["misses"] - tel.counter("cache_misses"))
@@ -223,9 +216,54 @@ class FleetEngine:
         return BatchReport(
             results=ordered,
             telemetry=tel.snapshot(),
+            cache=cache_snap,
             wall_clock=wall,
             rules_learned=learned,
         )
+
+    def run_job(self, job: DiagnosisJob) -> JobResult:
+        """Diagnose one unit synchronously through the shared state.
+
+        The long-lived-owner entry point the diagnosis server calls from
+        its executor threads: cache lookup, inline execution with the
+        engine's retry budget, cache fill, experience merge and
+        telemetry — the ``run_batch`` pipeline for a fleet of one,
+        without spinning up a pool.  Thread-safe: cache, telemetry and
+        experience each guard themselves.
+        """
+        tel = self.telemetry
+        key = job.content_hash
+        cached = self.cache.get(key)
+        if cached is not None:
+            result = cached.relabel(job.unit)
+        else:
+            attempts = 0
+            while True:
+                attempts += 1
+                payload = execute_job(job)
+                if payload["status"] == "ok" or attempts > self.retries:
+                    break
+                tel.incr("retries")
+            result = self._to_result(job, key, payload, attempts)
+            if result.ok:
+                self.cache.put(key, result)
+        self._merge_experience([job], [result])
+        self._record_result(result)
+        return result
+
+    def _record_result(self, res: JobResult) -> None:
+        """Per-result counters shared by ``run_batch`` and ``run_job``."""
+        tel = self.telemetry
+        tel.incr(f"jobs_{res.status}")
+        if res.cache_hit:
+            return
+        if res.elapsed:
+            tel.observe("job_seconds", res.elapsed)
+        stats = res.diagnosis.get("stats", {})
+        if stats:
+            tel.incr("propagation_passes")
+            tel.incr("propagation_steps", stats.get("propagation_steps", 0))
+            tel.incr("nogoods_found", stats.get("nogoods", 0))
 
     # ------------------------------------------------------------------
     # Execution with retry / timeout / graceful degradation

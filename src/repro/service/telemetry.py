@@ -7,7 +7,8 @@ collects three cheap primitives behind one lock:
 * **counters** — monotonically increasing totals (jobs run, cache
   hits, retries, nogoods found, ...);
 * **observations** — value streams summarised as count/total/min/max
-  (per-job wall-clock, propagation steps per pass, ...);
+  plus p50/p95/p99 percentiles over a bounded reservoir of recent
+  values (per-job wall-clock, per-endpoint latency, ...);
 * **phases** — wall-clock accumulated per named pipeline stage
   (hash, cache, execute, merge);
 
@@ -24,16 +25,34 @@ from collections import deque
 from contextlib import contextmanager
 from typing import Dict, Iterator, List
 
-__all__ = ["Telemetry"]
+__all__ = ["Telemetry", "percentile"]
+
+#: Percentiles reported for every observation stream.
+PERCENTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+
+def percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted, non-empty list."""
+    if not sorted_values:
+        raise ValueError("percentile of an empty stream")
+    rank = max(0, min(len(sorted_values) - 1, round(q * len(sorted_values)) - 1))
+    return sorted_values[rank]
 
 
 class Telemetry:
-    """Thread-safe counters, value summaries, phase timers, event log."""
+    """Thread-safe counters, value summaries, phase timers, event log.
 
-    def __init__(self, max_events: int = 256) -> None:
+    ``reservoir`` bounds how many recent values each observation stream
+    keeps for percentile estimation; count/total/min/max stay exact over
+    the full stream regardless.
+    """
+
+    def __init__(self, max_events: int = 256, reservoir: int = 512) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, float] = {}
         self._observations: Dict[str, List[float]] = {}  # [count, total, min, max]
+        self._samples: Dict[str, "deque[float]"] = {}  # recent values per stream
+        self._reservoir = max(1, int(reservoir))
         self._phases: Dict[str, List[float]] = {}  # [seconds, entries]
         self._events: "deque[Dict]" = deque(maxlen=max_events)
 
@@ -49,11 +68,13 @@ class Telemetry:
             stats = self._observations.get(name)
             if stats is None:
                 self._observations[name] = [1, value, value, value]
+                self._samples[name] = deque([value], maxlen=self._reservoir)
             else:
                 stats[0] += 1
                 stats[1] += value
                 stats[2] = min(stats[2], value)
                 stats[3] = max(stats[3], value)
+                self._samples[name].append(value)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -82,20 +103,28 @@ class Telemetry:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def _observation_entry(self, name: str) -> Dict:
+        c, t, lo, hi = self._observations[name]
+        entry = {
+            "count": int(c),
+            "total": t,
+            "mean": t / c if c else 0.0,
+            "min": lo,
+            "max": hi,
+        }
+        ordered = sorted(self._samples.get(name, ()))
+        if ordered:
+            for label, q in PERCENTILES:
+                entry[label] = percentile(ordered, q)
+        return entry
+
     def snapshot(self) -> Dict:
         """Everything as a JSON-safe dict."""
         with self._lock:
             return {
                 "counters": dict(self._counters),
                 "observations": {
-                    name: {
-                        "count": int(c),
-                        "total": t,
-                        "mean": t / c if c else 0.0,
-                        "min": lo,
-                        "max": hi,
-                    }
-                    for name, (c, t, lo, hi) in self._observations.items()
+                    name: self._observation_entry(name) for name in self._observations
                 },
                 "phases": {
                     name: {"seconds": secs, "entries": int(n)}
@@ -122,10 +151,13 @@ class Telemetry:
             lines.append("observations:")
             for name in sorted(snap["observations"]):
                 o = snap["observations"][name]
-                lines.append(
+                line = (
                     f"  {name}: n={o['count']} mean={o['mean']:.4g} "
                     f"min={o['min']:.4g} max={o['max']:.4g}"
                 )
+                if "p50" in o:
+                    line += f" p50={o['p50']:.4g} p95={o['p95']:.4g} p99={o['p99']:.4g}"
+                lines.append(line)
         if len(lines) == 2:
             lines.append("(empty)")
         return "\n".join(lines)
@@ -134,5 +166,6 @@ class Telemetry:
         with self._lock:
             self._counters.clear()
             self._observations.clear()
+            self._samples.clear()
             self._phases.clear()
             self._events.clear()

@@ -1,0 +1,139 @@
+"""Tests for the minimal HTTP framing layer."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server.http import (
+    HttpError,
+    error_payload,
+    parse_response_bytes,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes, **kwargs):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(go())
+
+
+class TestReadRequest:
+    def test_get_with_query(self):
+        req = parse(b"GET /metrics?verbose=1&verbose=2 HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert req.method == "GET"
+        assert req.path == "/metrics"
+        assert req.query == {"verbose": "2"}
+        assert req.headers["host"] == "x"
+        assert req.body == b""
+
+    def test_post_with_body(self):
+        body = b'{"unit": "u1"}'
+        raw = (
+            b"POST /v1/diagnose HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        req = parse(raw)
+        assert req.method == "POST"
+        assert req.json() == {"unit": "u1"}
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_head_rejected(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"GET / HTTP/1.1\r\nHos")
+        assert err.value.status == 400
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"NONSENSE\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_malformed_header_line(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_chunked_refused(self):
+        raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+        with pytest.raises(HttpError) as err:
+            parse(raw)
+        assert err.value.status == 501
+
+    def test_bad_content_length(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_body_shorter_than_content_length(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+        assert err.value.status == 400
+
+    def test_oversized_body_rejected(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100
+        with pytest.raises(HttpError) as err:
+            parse(raw, max_body=10)
+        assert err.value.status == 413
+
+    def test_oversized_head_rejected(self):
+        raw = b"GET / HTTP/1.1\r\n" + b"X-Pad: " + b"y" * 200 + b"\r\n\r\n"
+        with pytest.raises(HttpError) as err:
+            parse(raw, max_header=64)
+        assert err.value.status == 413
+
+    def test_keep_alive_default_and_close(self):
+        req = parse(b"GET / HTTP/1.1\r\n\r\n")
+        assert req.keep_alive
+        req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not req.keep_alive
+
+
+class TestJsonBody:
+    def test_empty_body_rejected(self):
+        req = parse(b"POST / HTTP/1.1\r\n\r\n")
+        with pytest.raises(HttpError) as err:
+            req.json()
+        assert err.value.status == 400
+
+    def test_invalid_json_rejected(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\n{oop"
+        with pytest.raises(HttpError) as err:
+            parse(raw).json()
+        assert err.value.status == 400
+
+
+class TestRenderResponse:
+    def test_round_trip(self):
+        raw = render_response(200, {"status": "ok"})
+        status, headers, body = parse_response_bytes(raw)
+        assert status == 200
+        assert headers["content-type"] == "application/json"
+        assert int(headers["content-length"]) == len(body)
+        assert json.loads(body) == {"status": "ok"}
+
+    def test_connection_semantics(self):
+        _, headers, _ = parse_response_bytes(render_response(200, {}, keep_alive=True))
+        assert headers["connection"] == "keep-alive"
+        _, headers, _ = parse_response_bytes(render_response(200, {}, keep_alive=False))
+        assert headers["connection"] == "close"
+
+    def test_extra_headers(self):
+        raw = render_response(503, {}, extra_headers={"Retry-After": "3"})
+        status, headers, _ = parse_response_bytes(raw)
+        assert status == 503
+        assert headers["retry-after"] == "3"
+
+    def test_error_payload_shape(self):
+        payload = error_payload(400, "bad spec", "req-1")
+        assert payload["error"]["status"] == 400
+        assert payload["error"]["message"] == "bad spec"
+        assert payload["error"]["request_id"] == "req-1"

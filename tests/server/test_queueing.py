@@ -1,0 +1,117 @@
+"""Tests for admission control: slots, bounded waiting, load shedding."""
+
+import asyncio
+
+import pytest
+
+from repro.server.queueing import AdmissionQueue, QueueFullError
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestValidation:
+    def test_needs_a_worker(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0, 4)
+
+    def test_negative_queue_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(1, -1)
+
+
+class TestSlots:
+    def test_serial_admission(self):
+        async def go():
+            q = AdmissionQueue(2, 4)
+            async with q.slot():
+                assert q.active == 1
+            assert q.active == 0
+            assert q.admitted == 1
+            assert q.depth()["peak_active"] == 1
+
+        run(go())
+
+    def test_rejects_when_wait_queue_full(self):
+        async def go():
+            q = AdmissionQueue(1, 1)
+            entered = asyncio.Event()
+            release = asyncio.Event()
+
+            async def hold():
+                async with q.slot():
+                    entered.set()
+                    await release.wait()
+
+            async def wait_for_slot():
+                async with q.slot():
+                    pass
+
+            holder = asyncio.create_task(hold())
+            await entered.wait()
+            waiter = asyncio.create_task(wait_for_slot())
+            await asyncio.sleep(0)  # waiter is now queued
+            assert q.waiting == 1
+            with pytest.raises(QueueFullError) as err:
+                async with q.slot(mean_job_seconds=0.5):
+                    pass
+            assert err.value.retry_after >= 1
+            release.set()
+            await holder
+            await waiter
+            assert q.depth()["rejected"] == 1
+            assert q.depth()["admitted"] == 2
+            assert q.waiting == 0 and q.active == 0
+
+        run(go())
+
+    def test_slot_released_on_exception(self):
+        async def go():
+            q = AdmissionQueue(1, 0)
+            with pytest.raises(RuntimeError):
+                async with q.slot():
+                    raise RuntimeError("boom")
+            async with q.slot():  # slot must be free again
+                assert q.active == 1
+
+        run(go())
+
+    def test_zero_queue_sheds_immediately_when_busy(self):
+        async def go():
+            q = AdmissionQueue(1, 0)
+            entered = asyncio.Event()
+            release = asyncio.Event()
+
+            async def hold():
+                async with q.slot():
+                    entered.set()
+                    await release.wait()
+
+            holder = asyncio.create_task(hold())
+            await entered.wait()
+            with pytest.raises(QueueFullError):
+                async with q.slot():
+                    pass
+            release.set()
+            await holder
+
+        run(go())
+
+
+class TestRetryAfter:
+    def test_bounded_between_one_and_thirty(self):
+        q = AdmissionQueue(2, 4)
+        assert q.retry_after(0.0) >= 1
+        q.active = 2
+        q.waiting = 4
+        assert q.retry_after(1000.0) <= 30
+
+    def test_scales_with_backlog(self):
+        q = AdmissionQueue(1, 8)
+        q.active = 1
+        q.waiting = 0
+        shallow = q.retry_after(2.0)
+        q.waiting = 8
+        deep = q.retry_after(2.0)
+        assert deep > shallow

@@ -70,3 +70,41 @@ class TestLRU:
         assert snap["hits"] == 1
         assert snap["misses"] == 1
         assert snap["hit_rate"] == pytest.approx(0.5)
+
+
+class TestConcurrency:
+    def test_stress_from_many_threads(self):
+        """get/put/snapshot hammered concurrently: no exceptions, sane books."""
+        import random
+        import threading
+
+        cache = ResultCache(capacity=16)
+        keys = [f"k{i}" for i in range(64)]
+        errors = []
+        gets = 8 * 500
+
+        def hammer(seed):
+            rng = random.Random(seed)
+            try:
+                for _ in range(500):
+                    key = rng.choice(keys)
+                    if cache.get(key) is None:
+                        cache.put(key, _result(key=key))
+                    if rng.random() < 0.05:
+                        snap = cache.snapshot()
+                        assert snap["size"] <= snap["capacity"]
+                        len(cache)
+                        key in cache
+            except Exception as exc:  # pragma: no cover - only on regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        snap = cache.snapshot()
+        assert snap["size"] <= 16
+        assert snap["hits"] + snap["misses"] == gets
+        assert snap["evictions"] > 0

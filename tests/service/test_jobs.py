@@ -210,3 +210,20 @@ class TestManifest:
         ])
         with pytest.raises(ManifestError):
             load_manifest(path)
+
+
+class TestJobFromSpec:
+    def test_public_spec_parsing_inlines_netlist(self):
+        from repro.service.jobs import job_from_spec
+
+        job = job_from_spec(
+            {"unit": "u1", "netlist_text": NETLIST, "probes": {"mid": 6.0}}
+        )
+        assert job.unit == "u1"
+        assert job.measurements
+
+    def test_netlist_paths_rejected_without_base_dir(self):
+        from repro.service.jobs import ManifestError, job_from_spec
+
+        with pytest.raises(ManifestError, match="netlist_text"):
+            job_from_spec({"unit": "u1", "netlist": "design.cir", "probes": {"mid": 6.0}})

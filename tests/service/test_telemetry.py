@@ -102,3 +102,42 @@ class TestEventsAndSnapshot:
         tel.incr("jobs")
         tel.reset()
         assert tel.counter("jobs") == 0
+
+
+class TestPercentiles:
+    def test_percentile_function(self):
+        from repro.service.telemetry import percentile
+
+        values = sorted(float(v) for v in range(1, 101))
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile([7.0], 0.99) == 7.0
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_snapshot_reports_percentiles(self):
+        tel = Telemetry()
+        for v in range(1, 101):
+            tel.observe("latency", float(v))
+        obs = tel.snapshot()["observations"]["latency"]
+        assert obs["p50"] == pytest.approx(50.0)
+        assert obs["p95"] == pytest.approx(95.0)
+        assert obs["p99"] == pytest.approx(99.0)
+        json.dumps(tel.snapshot())
+
+    def test_reservoir_bounds_memory_but_keeps_exact_extremes(self):
+        tel = Telemetry(reservoir=10)
+        for v in range(1, 1001):
+            tel.observe("latency", float(v))
+        obs = tel.snapshot()["observations"]["latency"]
+        assert obs["count"] == 1000
+        assert obs["min"] == 1.0 and obs["max"] == 1000.0
+        # percentiles come from the last 10 samples only
+        assert obs["p50"] >= 991.0
+
+    def test_summary_mentions_percentiles(self):
+        tel = Telemetry()
+        for v in (0.1, 0.2, 0.3):
+            tel.observe("job_seconds", v)
+        assert "p95=" in tel.summary()
