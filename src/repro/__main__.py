@@ -94,8 +94,10 @@ def _parse_probe(spec: str, imprecision: float) -> Measurement:
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.core.diagnosis import FlamesConfig
+
     circuit = _load_circuit(args.netlist)
-    engine = Flames(circuit)
+    engine = Flames(circuit, FlamesConfig(kernel=args.kernel))
     measurements = [_parse_probe(p, args.imprecision) for p in args.probe]
     result = engine.diagnose(measurements)
     refinements = None
@@ -239,6 +241,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit a machine-readable JSON result instead of the text report",
+    )
+    diagnose.add_argument(
+        "--kernel",
+        choices=["reference", "fast"],
+        default="reference",
+        help="implementation substrate: bitmask/memoized fast kernel or the "
+        "reference semantics (identical results; default reference)",
     )
     diagnose.set_defaults(func=_cmd_diagnose)
 

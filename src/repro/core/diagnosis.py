@@ -11,7 +11,7 @@ sets, plus the per-probe consistency table that figure 7 reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from repro.atms import FuzzyATMS, WeightedNogood, minimal_diagnoses, suspicion_scores
@@ -25,6 +25,7 @@ from repro.core.predict import predict_nominal
 from repro.core.propagation import FuzzyPropagator, PropagationResult, PropagatorConfig
 from repro.fuzzy import Consistency, FuzzyInterval, consistency
 from repro.fuzzy.logic import TNorm, t_norm_min
+from repro.kernel import FastFuzzyATMS, resolve_kernel
 
 __all__ = ["Flames", "FlamesConfig", "DiagnosisResult", "Diagnosis"]
 
@@ -38,6 +39,11 @@ class FlamesConfig:
     ``max_candidate_size`` bounds the simultaneous-fault cardinality
     considered by the hitting-set step (the paper entertains multiple
     faults but notes the space "grows exponentially").
+    ``kernel`` selects the implementation substrate: ``"reference"`` is
+    the seed's set-based, uncached semantics; ``"fast"`` runs the same
+    algorithms on interned bitmask environments with memoized fuzzy
+    arithmetic and incremental propagation (identical results, verified
+    by the differential suite in ``tests/kernel``).
     """
 
     assumable_nodes: bool = False
@@ -45,7 +51,17 @@ class FlamesConfig:
     max_candidate_size: int = 3
     t_norm: TNorm = t_norm_min
     hard_threshold: float = 1.0
+    kernel: str = "reference"
     propagator: PropagatorConfig = field(default_factory=PropagatorConfig)
+
+    def __post_init__(self) -> None:
+        resolve_kernel(self.kernel)
+
+    def effective_propagator(self) -> PropagatorConfig:
+        """The propagator config with the engine-level kernel applied."""
+        if self.propagator.kernel == self.kernel:
+            return self.propagator
+        return replace(self.propagator, kernel=self.kernel)
 
 
 @dataclass
@@ -136,7 +152,8 @@ class Flames:
     # ------------------------------------------------------------------
     def diagnose(self, measurements: Sequence[Measurement]) -> DiagnosisResult:
         """Run the full conflict-recognition + candidate-generation cycle."""
-        atms = FuzzyATMS(
+        atms_cls = FastFuzzyATMS if self.config.kernel == "fast" else FuzzyATMS
+        atms = atms_cls(
             t_norm=self.config.t_norm, hard_threshold=self.config.hard_threshold
         )
         assumption_nodes: Dict[str, Node] = {}
@@ -161,7 +178,7 @@ class Flames:
             )
 
         propagator = FuzzyPropagator(
-            self.network, on_conflict=on_conflict, config=self.config.propagator
+            self.network, on_conflict=on_conflict, config=self.config.effective_propagator()
         )
         # Database predictions first (so mode guards and coincidence checks
         # see them), then the observations.

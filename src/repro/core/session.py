@@ -16,6 +16,7 @@ exposed rather than hidden behind a verdict.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.circuit.measurements import Measurement, probe
@@ -41,6 +42,9 @@ class TroubleshootingSession:
         knowledge: the fault-mode/rule base; built with the common
             catalogue by default.
         planner: the best-test strategy unit.
+        kernel: shorthand for ``config.kernel`` — ``"reference"`` or
+            ``"fast"`` (see README "Kernel"); overrides the config's
+            kernel when given.
     """
 
     def __init__(
@@ -50,7 +54,10 @@ class TroubleshootingSession:
         experience: Optional[ExperienceBase] = None,
         knowledge: Optional[KnowledgeBase] = None,
         planner: Optional[BestTestPlanner] = None,
+        kernel: Optional[str] = None,
     ) -> None:
+        if kernel is not None:
+            config = replace(config if config is not None else FlamesConfig(), kernel=kernel)
         self.engine = Flames(circuit, config)
         self.experience = experience if experience is not None else ExperienceBase()
         self.knowledge = knowledge if knowledge is not None else KnowledgeBase(circuit)
@@ -86,6 +93,11 @@ class TroubleshootingSession:
     @property
     def has_observations(self) -> bool:
         return self._result is not None
+
+    @property
+    def kernel(self) -> str:
+        """Which kernel this session's engine runs on."""
+        return self.engine.config.kernel
 
     @property
     def unit_looks_healthy(self) -> bool:

@@ -1,0 +1,57 @@
+"""The fast FLAMES kernel: bitmask environments, interning, memoization.
+
+This package is the optimization layer behind the ``kernel="fast"``
+switch on :class:`~repro.core.diagnosis.FlamesConfig` and
+:class:`~repro.core.propagation.PropagatorConfig`:
+
+* :mod:`repro.kernel.bitmask` — per-ATMS assumption registry interning
+  environments as integer bitmasks (subset/union/popcount as single
+  bitwise ops);
+* :mod:`repro.kernel.fast_nogoods` — the weighted nogood database on a
+  popcount-bucketed mask index;
+* :mod:`repro.kernel.fast_atms` — the fuzzy ATMS with mask-based label
+  propagation;
+* :mod:`repro.kernel.fastfuzzy` — interned :class:`FuzzyInterval`
+  instances and bounded LRU memoization of fuzzy arithmetic, Dc /
+  coincidence computations and whole constraint projections.
+
+The reference (set-based, uncached) semantics stay the default
+everywhere; the differential harness in ``tests/kernel`` asserts the two
+kernels produce identical diagnoses.
+"""
+
+from repro.kernel.bitmask import (
+    AssumptionRegistry,
+    mask_is_proper_subset,
+    mask_is_subset,
+    mask_union,
+    popcount,
+)
+from repro.kernel.fast_atms import FastFuzzyATMS
+from repro.kernel.fast_nogoods import FastNogoodDatabase
+from repro.kernel.fastfuzzy import CachedFuzzyOps, InternTable, ProjectionCache
+
+__all__ = [
+    "KERNELS",
+    "AssumptionRegistry",
+    "FastFuzzyATMS",
+    "FastNogoodDatabase",
+    "CachedFuzzyOps",
+    "InternTable",
+    "ProjectionCache",
+    "popcount",
+    "mask_union",
+    "mask_is_subset",
+    "mask_is_proper_subset",
+    "resolve_kernel",
+]
+
+#: The recognised kernel switch values.
+KERNELS = ("reference", "fast")
+
+
+def resolve_kernel(kernel: str) -> str:
+    """Validate a kernel name, returning it (raises on unknown names)."""
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; choices: {', '.join(KERNELS)}")
+    return kernel

@@ -1,0 +1,147 @@
+"""Interned bitmask environments — the fast kernel's substrate.
+
+De Kleer-style ATMS implementations get their speed from representing
+assumption environments as bit vectors over a dense assumption index:
+subset, superset and union tests — the operations every label update and
+nogood check reduces to — become single bitwise instructions instead of
+``frozenset`` traversals.
+
+:class:`AssumptionRegistry` owns the mapping for one ATMS instance:
+
+* every :class:`~repro.atms.assumptions.Assumption` gets a bit position
+  the first time it is seen,
+* every distinct assumption set gets **one** canonical
+  :class:`~repro.atms.assumptions.Environment` instance, tagged with its
+  integer mask, so environments compare by identity-friendly dict
+  lookups and their masks never need recomputation.
+
+Canonical environments are ordinary :class:`Environment` objects (the
+mask is stashed as an extra attribute), so everything downstream — node
+labels, nogoods, hitting sets, reprs — behaves exactly as it does with
+the reference kernel.  That invariance is what the differential harness
+in ``tests/kernel`` checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.atms.assumptions import Assumption, Environment
+
+__all__ = [
+    "AssumptionRegistry",
+    "popcount",
+    "mask_union",
+    "mask_is_subset",
+    "mask_is_proper_subset",
+]
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (environment cardinality)."""
+    return bin(mask).count("1") if mask else 0
+
+
+# int.bit_count (3.10+) is measurably faster than the bin() fallback.
+if hasattr(int, "bit_count"):  # pragma: no branch
+    def popcount(mask: int) -> int:  # noqa: F811
+        """Number of set bits (environment cardinality)."""
+        return mask.bit_count()
+
+
+def mask_union(a: int, b: int) -> int:
+    """Union of two environments as masks."""
+    return a | b
+
+
+def mask_is_subset(a: int, b: int) -> bool:
+    """True when environment ``a`` is a (non-strict) subset of ``b``."""
+    return a & b == a
+
+
+def mask_is_proper_subset(a: int, b: int) -> bool:
+    """True when ``a`` is a strict subset of ``b``."""
+    return a != b and a & b == a
+
+
+class AssumptionRegistry:
+    """Per-ATMS interning of assumptions (bits) and environments (masks).
+
+    The registry is intentionally append-only: bits are never recycled,
+    so a mask computed at any point stays valid for the life of the ATMS
+    instance that owns the registry.
+    """
+
+    def __init__(self) -> None:
+        self._bits: Dict[Assumption, int] = {}
+        self._by_bit: List[Assumption] = []
+        empty = Environment.empty()
+        self._tag(empty, 0)
+        self._envs: Dict[int, Environment] = {0: empty}
+
+    # ------------------------------------------------------------------
+    # Assumptions <-> bits
+    # ------------------------------------------------------------------
+    def bit(self, assumption: Assumption) -> int:
+        """Bit position of ``assumption`` (assigned on first sight)."""
+        index = self._bits.get(assumption)
+        if index is None:
+            index = len(self._by_bit)
+            self._bits[assumption] = index
+            self._by_bit.append(assumption)
+        return index
+
+    def assumption(self, bit: int) -> Assumption:
+        return self._by_bit[bit]
+
+    def __len__(self) -> int:
+        return len(self._by_bit)
+
+    # ------------------------------------------------------------------
+    # Environments <-> masks
+    # ------------------------------------------------------------------
+    def mask_of(self, env: Environment) -> int:
+        """Integer mask of an environment (cached on the instance)."""
+        cached = env.__dict__.get("_kernel_mask")
+        if cached is not None and env.__dict__.get("_kernel_reg") is self:
+            return cached
+        mask = 0
+        for assumption in env.assumptions:
+            mask |= 1 << self.bit(assumption)
+        self._tag(env, mask)
+        return mask
+
+    def mask_of_assumptions(self, assumptions: Iterable[Assumption]) -> int:
+        mask = 0
+        for assumption in assumptions:
+            mask |= 1 << self.bit(assumption)
+        return mask
+
+    def environment(self, mask: int) -> Environment:
+        """The canonical environment for ``mask`` (interned)."""
+        env = self._envs.get(mask)
+        if env is None:
+            members = []
+            remaining = mask
+            while remaining:
+                low = remaining & -remaining
+                members.append(self._by_bit[low.bit_length() - 1])
+                remaining ^= low
+            env = Environment(frozenset(members))
+            self._tag(env, mask)
+            self._envs[mask] = env
+        return env
+
+    def intern(self, env: Environment) -> Environment:
+        """The canonical instance equal to ``env`` (registers new bits)."""
+        return self.environment(self.mask_of(env))
+
+    def _tag(self, env: Environment, mask: int) -> None:
+        # Environment is a frozen dataclass; object.__setattr__ stashes
+        # the cache without violating its immutability contract (the
+        # visible fields never change).
+        object.__setattr__(env, "_kernel_mask", mask)
+        object.__setattr__(env, "_kernel_reg", self)
+
+    def stats(self) -> Dict[str, int]:
+        return {"assumptions": len(self._by_bit), "environments": len(self._envs)}

@@ -1,0 +1,136 @@
+"""The fuzzy ATMS on the bitmask kernel.
+
+:class:`FastFuzzyATMS` is observationally identical to
+:class:`~repro.atms.fuzzy_atms.FuzzyATMS` — same labels, same nogoods,
+same degrees — but every environment that flows through label
+propagation is interned through an :class:`AssumptionRegistry` and every
+subset/union/consistency test runs on integer masks.  The four
+overridden methods are exactly the reference algorithms with
+``frozenset`` algebra replaced by bitwise algebra; ``tests/kernel``
+asserts the equivalence differentially and property-based.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.atms.assumptions import Environment
+from repro.atms.fuzzy_atms import FuzzyATMS
+from repro.atms.nodes import Justification, Node
+from repro.atms.nogood import NogoodDatabase
+from repro.kernel.bitmask import AssumptionRegistry, popcount
+from repro.kernel.fast_nogoods import FastNogoodDatabase
+from repro.fuzzy.logic import TNorm, t_norm_min
+
+__all__ = ["FastFuzzyATMS"]
+
+
+class FastFuzzyATMS(FuzzyATMS):
+    """Fuzzy ATMS over interned bitmask environments."""
+
+    def __init__(self, t_norm: TNorm = t_norm_min, hard_threshold: float = 1.0) -> None:
+        self.registry = AssumptionRegistry()
+        super().__init__(t_norm=t_norm, hard_threshold=hard_threshold)
+
+    def _make_nogood_db(self, hard_threshold: float) -> NogoodDatabase:
+        return FastNogoodDatabase(self.registry, hard_threshold)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def create_assumption(self, name: str, datum: str = "") -> Node:
+        node = super().create_assumption(name, datum)
+        if node.assumption is not None:
+            self.registry.bit(node.assumption)
+            if node.label:
+                node.label = {
+                    self.registry.intern(env): degree
+                    for env, degree in node.label.items()
+                }
+        return node
+
+    # ------------------------------------------------------------------
+    # Label propagation (mask algebra; reference semantics)
+    # ------------------------------------------------------------------
+    def _weave(
+        self,
+        just: Justification,
+        trigger: Optional[Node] = None,
+        trigger_envs: Optional[Dict[Environment, float]] = None,
+    ) -> Dict[Environment, float]:
+        registry = self.registry
+        nogoods: FastNogoodDatabase = self.nogoods
+        t_norm = self.t_norm
+        acc: Dict[int, float] = {0: just.degree}
+        for ant in just.antecedents:
+            label = trigger_envs if ant is trigger else ant.label
+            if not label:
+                return {}
+            masked = [(registry.mask_of(env), d) for env, d in label.items()]
+            nxt: Dict[int, float] = {}
+            for mask_a, d_a in acc.items():
+                for mask_b, d_b in masked:
+                    union = mask_a | mask_b
+                    if nogoods.mask_inconsistent(union):
+                        continue
+                    degree = t_norm(d_a, d_b)
+                    if degree <= 0.0:
+                        continue
+                    if nxt.get(union, 0.0) < degree:
+                        nxt[union] = degree
+            acc = _minimise_masks(nxt)
+            if not acc:
+                return {}
+        return {registry.environment(mask): d for mask, d in acc.items()}
+
+    def _update_label(
+        self, node: Node, envs: Dict[Environment, float]
+    ) -> Dict[Environment, float]:
+        registry = self.registry
+        mask_of = registry.mask_of
+        nogoods: FastNogoodDatabase = self.nogoods
+        label = node.label
+        added: Dict[Environment, float] = {}
+        for env, degree in envs.items():
+            env = registry.intern(env)
+            mask = mask_of(env)
+            if nogoods.mask_inconsistent(mask):
+                continue
+            if any(
+                mask_of(e) & mask == mask_of(e) and d >= degree
+                for e, d in label.items()
+            ):
+                continue
+            doomed = [
+                e
+                for e, d in label.items()
+                if mask & mask_of(e) == mask and d <= degree and mask_of(e) != mask
+            ]
+            for e in doomed:
+                del label[e]
+                added.pop(e, None)
+            label[env] = degree
+            added[env] = degree
+        return added
+
+    def _retract(self, nogood_env: Environment) -> None:
+        registry = self.registry
+        nogood_mask = registry.mask_of(nogood_env)
+        for node in self.nodes.values():
+            label = node.label
+            doomed = [
+                env for env in label if nogood_mask & registry.mask_of(env) == nogood_mask
+            ]
+            for env in doomed:
+                del label[env]
+
+
+def _minimise_masks(envs: Dict[int, float]) -> Dict[int, float]:
+    """Mask twin of :func:`repro.atms.atms._minimise` (same ordering rule)."""
+    kept: Dict[int, float] = {}
+    for mask in sorted(envs, key=lambda m: (popcount(m), -envs[m])):
+        degree = envs[mask]
+        if any(m & mask == m and kept[m] >= degree for m in kept):
+            continue
+        kept[mask] = degree
+    return kept

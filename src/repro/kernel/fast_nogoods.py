@@ -1,0 +1,121 @@
+"""Bitmask-indexed weighted nogood database.
+
+Drop-in replacement for :class:`repro.atms.nogood.NogoodDatabase` whose
+subsumption machinery runs on interned integer masks.  Stored nogoods
+are additionally bucketed by popcount (environment cardinality): a
+subset of a query environment can only live in a bucket of equal or
+smaller cardinality, so subsumption scans skip whole buckets instead of
+testing every stored nogood.
+
+The degree-aware store semantics are *identical* to the reference
+database — same antichain rule, same return values from :meth:`add`,
+same :meth:`minimal` ordering — which the differential and property
+suites in ``tests/kernel`` verify.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.atms.assumptions import Environment
+from repro.atms.nogood import NogoodDatabase
+from repro.kernel.bitmask import AssumptionRegistry, popcount
+
+__all__ = ["FastNogoodDatabase"]
+
+
+class FastNogoodDatabase(NogoodDatabase):
+    """Weighted nogoods over interned bitmask environments."""
+
+    def __init__(self, registry: AssumptionRegistry, hard_threshold: float = 1.0) -> None:
+        super().__init__(hard_threshold)
+        self.registry = registry
+        #: popcount -> {mask: degree}; mirrors ``_store`` exactly.
+        self._buckets: Dict[int, Dict[int, float]] = {}
+        #: Masks whose degree reaches the hard threshold (pruning set).
+        self._hard_buckets: Dict[int, Dict[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, environment: Environment, degree: float = 1.0) -> bool:
+        if not 0.0 < degree <= 1.0:
+            raise ValueError(f"nogood degree {degree} outside (0, 1]")
+        env = self.registry.intern(environment)
+        mask = self.registry.mask_of(env)
+        size = popcount(mask)
+        # A stored subset at an equal-or-higher degree subsumes the entry.
+        for pc, bucket in self._buckets.items():
+            if pc > size:
+                continue
+            for m, d in bucket.items():
+                if m & mask == m and d >= degree:
+                    return False
+        # Remove newly subsumed entries (supersets at lower-or-equal degree).
+        doomed = [
+            m
+            for pc, bucket in self._buckets.items()
+            if pc >= size
+            for m, d in bucket.items()
+            if mask & m == mask and d <= degree and m != mask
+        ]
+        for m in doomed:
+            self._remove_mask(m)
+        changed = self._store.get(env) != degree
+        self._store[env] = degree
+        self._buckets.setdefault(size, {})[mask] = degree
+        if degree >= self.hard_threshold:
+            self._hard_buckets.setdefault(size, {})[mask] = degree
+        else:
+            self._hard_buckets.get(size, {}).pop(mask, None)
+        return changed or bool(doomed)
+
+    def _remove_mask(self, mask: int) -> None:
+        size = popcount(mask)
+        self._buckets.get(size, {}).pop(mask, None)
+        self._hard_buckets.get(size, {}).pop(mask, None)
+        self._store.pop(self.registry.environment(mask), None)
+
+    def clear(self) -> None:
+        super().clear()
+        self._buckets.clear()
+        self._hard_buckets.clear()
+
+    def merge(self, others) -> None:  # inherited semantics, fast adds
+        for nogood in others:
+            self.add(nogood.environment, nogood.degree)
+
+    # ------------------------------------------------------------------
+    # Queries (mask fast paths)
+    # ------------------------------------------------------------------
+    def mask_inconsistent(self, mask: int) -> bool:
+        """True when a hard nogood mask is a subset of ``mask``."""
+        size = popcount(mask)
+        for pc, bucket in self._hard_buckets.items():
+            if pc > size:
+                continue
+            for m in bucket:
+                if m & mask == m:
+                    return True
+        return False
+
+    def is_inconsistent(self, environment: Environment) -> bool:
+        return self.mask_inconsistent(self.registry.mask_of(environment))
+
+    def mask_conflict_degree(self, mask: int) -> float:
+        size = popcount(mask)
+        worst = 0.0
+        for pc, bucket in self._buckets.items():
+            if pc > size:
+                continue
+            for m, d in bucket.items():
+                if d > worst and m & mask == m:
+                    worst = d
+        return worst
+
+    def conflict_degree(self, environment: Environment) -> float:
+        return self.mask_conflict_degree(self.registry.mask_of(environment))
+
+    def hard_masks(self) -> List[int]:
+        """All masks at or above the hard threshold (for label retraction)."""
+        return [m for bucket in self._hard_buckets.values() for m in bucket]

@@ -1,0 +1,200 @@
+"""Interned fuzzy intervals and bounded memoization of fuzzy operators.
+
+The propagation hot path recomputes the same trapezoid arithmetic over
+and over: a circuit has a handful of constraint shapes, measurements
+repeat across diagnosis sessions, and relaxation loops revisit the same
+(value, value) pairs many times.  Three small caches exploit that:
+
+* :class:`InternTable` — one canonical :class:`FuzzyInterval` instance
+  per distinct ``(m1, m2, alpha, beta)`` tuple, LRU-bounded;
+* :class:`CachedFuzzyOps` — a bounded memo for *pure* binary fuzzy
+  computations (arithmetic, intersection hulls, Dc/coincidence
+  classification), keyed on the operand tuples so a cached result is
+  bitwise identical to the uncached one;
+* :class:`ProjectionCache` — a bounded memo for whole constraint
+  projections keyed on (constraint, target, input intervals), the unit
+  the propagation engine actually repeats.
+
+Every cache is strictly bounded (oldest entry evicted first) and every
+cached function must be a pure function of its fuzzy-interval operands —
+both properties are enforced by the property suite in ``tests/kernel``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.fuzzy.interval import FuzzyInterval
+
+__all__ = ["InternTable", "CachedFuzzyOps", "ProjectionCache"]
+
+
+class _BoundedLRU:
+    """Tiny LRU dict: bounded, move-to-front on hit, evict oldest."""
+
+    __slots__ = ("maxsize", "_data", "hits", "misses")
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize <= 0:
+            raise ValueError("cache maxsize must be positive")
+        self.maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Any) -> Any:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return _MISS
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: Sentinel distinguishing "not cached" from cached ``None`` results.
+_MISS = object()
+
+
+class InternTable:
+    """Canonical instances of :class:`FuzzyInterval`, LRU-bounded."""
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        self._cache = _BoundedLRU(maxsize)
+
+    def intern(self, interval: FuzzyInterval) -> FuzzyInterval:
+        key = interval.as_tuple()
+        found = self._cache.get(key)
+        if found is not _MISS:
+            return found
+        self._cache.put(key, interval)
+        return interval
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def maxsize(self) -> int:
+        return self._cache.maxsize
+
+
+class CachedFuzzyOps:
+    """Bounded memo for pure binary fuzzy-interval computations.
+
+    ``call(fn, a, b)`` returns ``fn(a, b)``, cached under
+    ``(fn.__qualname__, a.as_tuple(), b.as_tuple())``.  ``fn`` must be a
+    pure function of the two intervals' values (all the FuzzyInterval
+    arithmetic, ``intersection_hull``, Dc comparison and coincidence
+    classification qualify).  Exceptions (e.g. ``ZeroDivisionError`` from
+    interval division) are cached too, so a repeated failing operand pair
+    short-circuits identically.
+    """
+
+    def __init__(self, maxsize: int = 8192) -> None:
+        self._cache = _BoundedLRU(maxsize)
+
+    def call(self, fn: Callable, a: FuzzyInterval, b: FuzzyInterval) -> Any:
+        key = (fn.__qualname__, a.as_tuple(), b.as_tuple())
+        found = self._cache.get(key)
+        if found is not _MISS:
+            if isinstance(found, _CachedError):
+                raise found.error
+            return found
+        try:
+            result = fn(a, b)
+        except (ZeroDivisionError, ValueError) as exc:
+            self._cache.put(key, _CachedError(exc))
+            raise
+        self._cache.put(key, result)
+        return result
+
+    # Convenience wrappers for the arithmetic the paper's kernel runs on.
+    def add(self, a: FuzzyInterval, b: FuzzyInterval) -> FuzzyInterval:
+        return self.call(FuzzyInterval.__add__, a, b)
+
+    def sub(self, a: FuzzyInterval, b: FuzzyInterval) -> FuzzyInterval:
+        return self.call(FuzzyInterval.__sub__, a, b)
+
+    def mul(self, a: FuzzyInterval, b: FuzzyInterval) -> FuzzyInterval:
+        return self.call(FuzzyInterval.__mul__, a, b)
+
+    def div(self, a: FuzzyInterval, b: FuzzyInterval) -> FuzzyInterval:
+        return self.call(FuzzyInterval.__truediv__, a, b)
+
+    def intersection_hull(
+        self, a: FuzzyInterval, b: FuzzyInterval
+    ) -> Optional[FuzzyInterval]:
+        return self.call(FuzzyInterval.intersection_hull, a, b)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def maxsize(self) -> int:
+        return self._cache.maxsize
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._cache),
+            "hits": self._cache.hits,
+            "misses": self._cache.misses,
+        }
+
+
+class _CachedError:
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+class ProjectionCache:
+    """Memo for constraint projections keyed on the exact inputs.
+
+    A projection is a pure function of (constraint, target variable,
+    input intervals); the key uses a caller-assigned stable constraint
+    id plus the interval tuples.  ``ZeroDivisionError`` outcomes are
+    cached as failures so repeated doomed combos cost one dict lookup.
+    """
+
+    def __init__(self, maxsize: int = 16384) -> None:
+        self._cache = _BoundedLRU(maxsize)
+
+    #: Sentinel returned by :meth:`lookup` when the key is absent.
+    MISS = _MISS
+
+    def lookup(self, key: Tuple) -> Any:
+        return self._cache.get(key)
+
+    def store(self, key: Tuple, value: Any) -> None:
+        self._cache.put(key, value)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def maxsize(self) -> int:
+        return self._cache.maxsize
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._cache),
+            "hits": self._cache.hits,
+            "misses": self._cache.misses,
+        }

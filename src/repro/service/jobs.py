@@ -42,6 +42,7 @@ from repro.circuit.spice import parse_netlist, write_netlist
 from repro.core.diagnosis import DiagnosisResult, FlamesConfig
 from repro.core.knowledge import ModeMatch
 from repro.fuzzy import FuzzyInterval
+from repro.kernel import resolve_kernel
 
 __all__ = [
     "CONFIG_FIELDS",
@@ -55,15 +56,20 @@ __all__ = [
     "ManifestError",
 ]
 
-#: FlamesConfig knobs a job may override — scalars only, so jobs stay
-#: JSON- and pickle-safe (the t-norm and propagator tuning stay at
-#: engine defaults).
+#: FlamesConfig knobs a job may override — plain scalars only, so jobs
+#: stay JSON- and pickle-safe (the t-norm and propagator tuning stay at
+#: engine defaults).  ``kernel`` selects the implementation substrate
+#: ("reference" or "fast" — identical results, see README "Kernel").
 CONFIG_FIELDS = (
     "assumable_nodes",
     "conflict_threshold",
     "max_candidate_size",
     "hard_threshold",
+    "kernel",
 )
+
+#: Config fields carrying strings rather than numbers.
+_STRING_FIELDS = frozenset({"kernel"})
 
 #: One fuzzy measurement as plain data: (point, m1, m2, alpha, beta).
 MeasurementTuple = Tuple[str, float, float, float, float]
@@ -96,7 +102,8 @@ class DiagnosisJob:
         unit: free-form label for reporting (not part of the hash).
         netlist_text: the golden design in the SPICE-subset card format.
         measurements: fuzzy readings as plain tuples.
-        config: sorted ``(field, value)`` FlamesConfig overrides.
+        config: sorted ``(field, value)`` FlamesConfig overrides (values
+            are floats, except the ``kernel`` name which is a string).
         confirm: optional ``(component, mode)`` the expert has verified
             on this unit — feeds the shared experience base after the
             batch (not part of the hash either).
@@ -105,7 +112,7 @@ class DiagnosisJob:
     unit: str
     netlist_text: str
     measurements: Tuple[MeasurementTuple, ...]
-    config: Tuple[Tuple[str, float], ...] = ()
+    config: Tuple[Tuple[str, Union[float, str]], ...] = ()
     confirm: Optional[Tuple[str, str]] = None
 
     # ------------------------------------------------------------------
@@ -128,7 +135,13 @@ class DiagnosisJob:
                 raise ManifestError(
                     f"unknown config field {key!r}; choices: {', '.join(CONFIG_FIELDS)}"
                 )
-            overrides[key] = float(value)
+            if key in _STRING_FIELDS:
+                try:
+                    overrides[key] = resolve_kernel(str(value))
+                except ValueError as exc:
+                    raise ManifestError(str(exc)) from None
+            else:
+                overrides[key] = float(value)
         return cls(
             unit=unit,
             netlist_text=text,
@@ -159,6 +172,8 @@ class DiagnosisJob:
             overrides["assumable_nodes"] = bool(overrides["assumable_nodes"])
         if "max_candidate_size" in overrides:
             overrides["max_candidate_size"] = int(overrides["max_candidate_size"])
+        if "kernel" in overrides:
+            overrides["kernel"] = str(overrides["kernel"])
         return FlamesConfig(**overrides)  # type: ignore[arg-type]
 
     @property

@@ -2,12 +2,14 @@
 
 import itertools
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.atms import ATMS, Environment, NogoodDatabase, minimal_hitting_sets
+from repro.atms import ATMS, Environment, FuzzyATMS, NogoodDatabase, minimal_hitting_sets
 from repro.atms.assumptions import Assumption, minimal_antichain
 from repro.atms.interpretations import interpretations
+from repro.kernel import FastFuzzyATMS
 
 _names = st.sampled_from(["a", "b", "c", "d", "e"])
 _sets = st.sets(_names, min_size=1, max_size=4).map(
@@ -114,6 +116,90 @@ class TestInterpretationProperties:
                         extended.is_subset(other) for other in maximal
                     )
                     assert db.is_inconsistent(extended) or not covered or extended in maximal
+
+
+class TestLabelInvariantsAfterNogoods:
+    """Label soundness after nogood installation, on both kernels.
+
+    Whatever sequence of justifications and (soft or hard) nogoods is
+    installed, every node label must stay a degree-consistent minimal
+    antichain of environments none of which is hard-inconsistent.
+    """
+
+    @pytest.mark.parametrize("atms_cls", [FuzzyATMS, FastFuzzyATMS])
+    @given(
+        rules=st.lists(
+            st.tuples(st.sets(_names, min_size=1, max_size=3), _names),
+            min_size=1,
+            max_size=5,
+        ),
+        nogoods=st.lists(
+            st.tuples(
+                st.sets(_names, min_size=1, max_size=3),
+                st.floats(min_value=0.1, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_labels_stay_sound(self, atms_cls, rules, nogoods):
+        atms = atms_cls()
+        assumptions = {}
+
+        def assume(name):
+            if name not in assumptions:
+                assumptions[name] = atms.create_assumption(f"ok({name})", name)
+            return assumptions[name]
+
+        for ants, cons in rules:
+            consequent = atms.create_node(f"n_{cons}")
+            atms.justify("r", [assume(a) for a in sorted(ants)], consequent)
+        for i, (members, degree) in enumerate(nogoods):
+            atms.declare_soft_nogood(
+                f"m{i}", [assume(a) for a in sorted(members)], degree
+            )
+
+        for node in atms.nodes.values():
+            label = node.label
+            for env, degree in label.items():
+                assert 0.0 < degree <= 1.0
+                # No environment at or past the hard threshold survives.
+                assert not atms.nogoods.is_inconsistent(env)
+            for e1, e2 in itertools.combinations(label, 2):
+                # Minimality: a kept proper subset must be strictly
+                # weaker, else it would have subsumed the superset.
+                if e1.is_proper_subset(e2):
+                    assert label[e1] < label[e2]
+                if e2.is_proper_subset(e1):
+                    assert label[e2] < label[e1]
+
+    @pytest.mark.parametrize("atms_cls", [FuzzyATMS, FastFuzzyATMS])
+    @given(
+        nogoods=st.lists(
+            st.tuples(
+                st.sets(_names, min_size=1, max_size=3),
+                st.floats(min_value=0.1, max_value=1.0),
+            ),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_nogood_degrees_monotone_under_weighting(self, atms_cls, nogoods):
+        """Installing more nogoods never weakens an existing one."""
+        atms = atms_cls()
+        assumptions = {
+            n: atms.create_assumption(f"ok({n})", n) for n in ["a", "b", "c", "d", "e"]
+        }
+        watched = Environment(frozenset(n.assumption for n in assumptions.values()))
+        degrees = []
+        for i, (members, degree) in enumerate(nogoods):
+            atms.declare_soft_nogood(
+                f"m{i}", [assumptions[a] for a in sorted(members)], degree
+            )
+            degrees.append(atms.nogoods.conflict_degree(watched))
+        assert all(x <= y + 1e-12 for x, y in zip(degrees, degrees[1:]))
 
 
 class TestATMSLabelProperties:

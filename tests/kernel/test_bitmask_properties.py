@@ -1,0 +1,132 @@
+"""Property tests: the bitmask algebra agrees with set-based Environments.
+
+The fast kernel's correctness rests on two correspondences — masks
+faithfully encode assumption sets, and :class:`FastNogoodDatabase`
+reproduces :class:`NogoodDatabase`'s antichain semantics add-for-add —
+which hypothesis exercises here over random inputs.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.atms import Environment, NogoodDatabase
+from repro.atms.assumptions import Assumption
+from repro.kernel import (
+    AssumptionRegistry,
+    FastNogoodDatabase,
+    mask_is_proper_subset,
+    mask_is_subset,
+    mask_union,
+    popcount,
+)
+
+_names = st.sampled_from(["a", "b", "c", "d", "e", "f", "g"])
+_sets = st.sets(_names, max_size=5).map(
+    lambda s: frozenset(Assumption(n, n) for n in s)
+)
+
+
+class TestMaskAlgebra:
+    @given(_sets, _sets)
+    @settings(max_examples=100, deadline=None)
+    def test_subset_matches_set_semantics(self, sa, sb):
+        reg = AssumptionRegistry()
+        ma, mb = reg.mask_of_assumptions(sa), reg.mask_of_assumptions(sb)
+        assert mask_is_subset(ma, mb) == (sa <= sb)
+        assert mask_is_proper_subset(ma, mb) == (sa < sb)
+
+    @given(_sets, _sets)
+    @settings(max_examples=100, deadline=None)
+    def test_union_matches_set_semantics(self, sa, sb):
+        reg = AssumptionRegistry()
+        ma, mb = reg.mask_of_assumptions(sa), reg.mask_of_assumptions(sb)
+        assert mask_union(ma, mb) == reg.mask_of_assumptions(sa | sb)
+
+    @given(_sets)
+    @settings(max_examples=100, deadline=None)
+    def test_popcount_is_cardinality(self, s):
+        reg = AssumptionRegistry()
+        assert popcount(reg.mask_of_assumptions(s)) == len(s)
+
+    @given(_sets)
+    @settings(max_examples=100, deadline=None)
+    def test_mask_roundtrips_through_environment(self, s):
+        reg = AssumptionRegistry()
+        env = Environment(s)
+        mask = reg.mask_of(env)
+        canonical = reg.environment(mask)
+        assert canonical == env
+        assert reg.mask_of(canonical) == mask
+        # Interning returns the one canonical instance.
+        assert reg.intern(Environment(s)) is canonical
+
+    @given(st.lists(_sets, min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_masks_stable_across_registrations(self, sets):
+        """Bits are append-only: later registrations never change the
+        mask of an earlier environment."""
+        reg = AssumptionRegistry()
+        masks = []
+        for s in sets:
+            masks.append(reg.mask_of_assumptions(s))
+        for s, mask in zip(sets, masks):
+            assert reg.mask_of_assumptions(s) == mask
+
+
+class TestFastNogoodDatabaseDifferential:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sets(_names, min_size=1, max_size=4).map(
+                    lambda s: frozenset(Assumption(n, n) for n in s)
+                ),
+                st.floats(min_value=0.05, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=12,
+        ),
+        _sets,
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_add_for_add_equivalence(self, entries, query):
+        ref = NogoodDatabase()
+        fast = FastNogoodDatabase(AssumptionRegistry())
+        for s, d in entries:
+            env = Environment(s)
+            assert ref.add(env, d) == fast.add(env, d)
+            # After every single add, observable state must agree.
+            probe = Environment(query)
+            assert ref.is_inconsistent(probe) == fast.is_inconsistent(probe)
+            assert abs(ref.conflict_degree(probe) - fast.conflict_degree(probe)) < 1e-12
+
+        def key(ng):
+            return (tuple(sorted(a.name for a in ng.environment.assumptions)), ng.degree)
+
+        assert sorted(map(key, ref.minimal())) == sorted(map(key, fast.minimal()))
+        assert sorted(map(key, ref.hard())) == sorted(map(key, fast.hard()))
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sets(_names, min_size=1, max_size=4).map(
+                    lambda s: frozenset(Assumption(n, n) for n in s)
+                ),
+                st.floats(min_value=0.05, max_value=1.0),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_store_stays_degree_antichain(self, entries):
+        fast = FastNogoodDatabase(AssumptionRegistry())
+        for s, d in entries:
+            fast.add(Environment(s), d)
+        stored = fast.minimal()
+        for n1, n2 in itertools.combinations(stored, 2):
+            if n1.environment.is_proper_subset(n2.environment):
+                assert n1.degree < n2.degree
+            if n2.environment.is_proper_subset(n1.environment):
+                assert n2.degree < n1.degree

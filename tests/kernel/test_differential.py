@@ -1,0 +1,186 @@
+"""Differential harness: the fast kernel must be observationally
+identical to the reference.
+
+Every scenario (library circuit x fault mode) runs through both kernels
+and the *entire* diagnosis — ranked candidates, suspicion degrees,
+weighted nogoods, consistencies, propagation step counts — must agree
+to 1e-9.  A second battery drives a persistent propagator with
+measurements added one at a time, the workload the fast kernel's
+dirty-tracking was built for, and checks the incremental fixpoint
+against the reference after every single run.
+"""
+
+import math
+
+import pytest
+
+from repro.circuit.faults import Fault, FaultKind, apply_fault
+from repro.circuit.generators import resistor_ladder
+from repro.circuit.library import (
+    amplifier_cascade,
+    diode_resistor_circuit,
+    three_stage_amplifier,
+)
+from repro.circuit.measurements import probe, probe_all
+from repro.circuit.constraints import ConstraintNetwork
+from repro.circuit.simulate import DCSolver
+from repro.core.diagnosis import Flames, FlamesConfig
+from repro.core.predict import predict_nominal
+from repro.core.propagation import FuzzyPropagator, PropagatorConfig
+
+TOL = 1e-9
+
+SCENARIOS = [
+    ("cascade-healthy", amplifier_cascade, None, ["a", "b", "c", "d"]),
+    (
+        "cascade-gain-drift",
+        amplifier_cascade,
+        Fault(FaultKind.PARAM, "amp2", "gain", 0.2),
+        ["a", "b", "c", "d"],
+    ),
+    (
+        "diode-short-r1",
+        diode_resistor_circuit,
+        Fault(FaultKind.SHORT, "r1"),
+        ["vin", "n1", "n2"],
+    ),
+    (
+        "diode-open-d1",
+        diode_resistor_circuit,
+        Fault(FaultKind.OPEN, "d1"),
+        ["vin", "n1", "n2"],
+    ),
+    (
+        "amp-short-r2",
+        three_stage_amplifier,
+        Fault(FaultKind.SHORT, "R2"),
+        ["vs", "v1", "v2", "n1", "n2"],
+    ),
+    (
+        "amp-open-r5",
+        three_stage_amplifier,
+        Fault(FaultKind.OPEN, "R5"),
+        ["vs", "v1", "v2", "n1", "n2"],
+    ),
+]
+
+
+def _diagnose(maker, fault, nets, kernel):
+    golden = maker()
+    faulty = apply_fault(golden, fault) if fault else golden
+    op = DCSolver(faulty).solve()
+    measurements = probe_all(op, nets, imprecision=0.02)
+    engine = Flames(golden, FlamesConfig(kernel=kernel))
+    return engine.diagnose(measurements)
+
+
+def _nogood_key(ng):
+    return (tuple(sorted(a.datum for a in ng.environment)), ng.degree)
+
+
+@pytest.mark.parametrize(
+    "maker,fault,nets", [s[1:] for s in SCENARIOS], ids=[s[0] for s in SCENARIOS]
+)
+class TestDiagnosisDifferential:
+    def test_identical_diagnosis(self, maker, fault, nets):
+        ref = _diagnose(maker, fault, nets, "reference")
+        fast = _diagnose(maker, fault, nets, "fast")
+
+        assert ref.is_consistent == fast.is_consistent
+
+        ranked_ref = ref.ranked_components()
+        ranked_fast = fast.ranked_components()
+        assert [c for c, _ in ranked_ref] == [c for c, _ in ranked_fast]
+        for (_, dr), (_, df) in zip(ranked_ref, ranked_fast):
+            assert math.isclose(dr, df, rel_tol=0, abs_tol=TOL)
+
+        ng_ref = sorted(map(_nogood_key, ref.nogoods))
+        ng_fast = sorted(map(_nogood_key, fast.nogoods))
+        assert [k[0] for k in ng_ref] == [k[0] for k in ng_fast]
+        for (_, dr), (_, df) in zip(ng_ref, ng_fast):
+            assert math.isclose(dr, df, rel_tol=0, abs_tol=TOL)
+
+        diag_ref = [(tuple(sorted(d.components)), d.degree) for d in ref.diagnoses]
+        diag_fast = [(tuple(sorted(d.components)), d.degree) for d in fast.diagnoses]
+        assert [k for k, _ in diag_ref] == [k for k, _ in diag_fast]
+        for (_, dr), (_, df) in zip(diag_ref, diag_fast):
+            assert math.isclose(dr, df, rel_tol=0, abs_tol=TOL)
+
+        assert set(ref.consistencies) == set(fast.consistencies)
+        for point in ref.consistencies:
+            assert math.isclose(
+                ref.consistencies[point].signed,
+                fast.consistencies[point].signed,
+                rel_tol=0,
+                abs_tol=TOL,
+            )
+
+    def test_identical_propagation_trace(self, maker, fault, nets):
+        """The fast kernel skips provable no-ops but never reorders work,
+        so even the step count and conflict log must match exactly."""
+        ref = _diagnose(maker, fault, nets, "reference")
+        fast = _diagnose(maker, fault, nets, "fast")
+        assert ref.propagation.steps == fast.propagation.steps
+        assert ref.propagation.quiescent == fast.propagation.quiescent
+        assert len(ref.conflicts) == len(fast.conflicts)
+        for cr, cf in zip(ref.conflicts, fast.conflicts):
+            assert cr.variable == cf.variable
+            assert cr.environment == cf.environment
+            assert cr.direction == cf.direction
+            assert math.isclose(cr.degree, cf.degree, rel_tol=0, abs_tol=TOL)
+
+
+def _incremental_states(circuit, faulty, nets, kernel):
+    """Drive one persistent propagator, snapshotting after every run."""
+    op = DCSolver(faulty).solve()
+    network = ConstraintNetwork(circuit, False)
+    prop = FuzzyPropagator(network, config=PropagatorConfig(kernel=kernel))
+    for name, pred in predict_nominal(circuit).items():
+        if name in network.variables:
+            prop.set_value(name, pred.value, pred.support, source="prediction")
+    snapshots = []
+
+    def snap():
+        conflicts = sorted(
+            (c.variable, c.environment, round(c.degree, 9), c.direction)
+            for c in prop.conflicts
+        )
+        estimates = {
+            n: (iv.as_tuple() if iv is not None else None)
+            for n, iv in prop.estimates().items()
+        }
+        snapshots.append((conflicts, estimates))
+
+    prop.run()
+    snap()
+    for net in nets:
+        m = probe(op, net, 0.02)
+        prop.set_value(m.point, m.value)
+        prop.run()
+        snap()
+    return snapshots
+
+
+class TestIncrementalDifferential:
+    """One measurement at a time against a persistent propagator —
+    the incremental path must track the reference at every step."""
+
+    @pytest.mark.parametrize(
+        "maker,fault",
+        [
+            (three_stage_amplifier, Fault(FaultKind.SHORT, "R2")),
+            (lambda: resistor_ladder(12), Fault(FaultKind.OPEN, "Rp3")),
+        ],
+        ids=["amp-short-r2", "ladder12-open-r3"],
+    )
+    def test_stepwise_equivalence(self, maker, fault):
+        golden = maker()
+        faulty = apply_fault(golden, fault)
+        op = DCSolver(faulty).solve()
+        nets = [n for n in sorted(op.voltages) if n != "0"][:6]
+        ref = _incremental_states(golden, faulty, nets, "reference")
+        fast = _incremental_states(golden, faulty, nets, "fast")
+        assert len(ref) == len(fast)
+        for i, (r, f) in enumerate(zip(ref, fast)):
+            assert r[0] == f[0], f"conflict log diverged after run {i}"
+            assert r[1] == f[1], f"estimates diverged after run {i}"

@@ -1,0 +1,126 @@
+"""Property tests for the fast kernel's memoization layer.
+
+Two invariants: a cached computation returns exactly what the uncached
+one would (including raising the same exception class), and every cache
+stays within its configured bound no matter the access pattern.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coincidence import classify
+from repro.fuzzy import FuzzyInterval
+from repro.kernel import CachedFuzzyOps, InternTable, ProjectionCache
+
+_widths = st.floats(min_value=0.0, max_value=5.0, allow_nan=False)
+
+
+@st.composite
+def intervals(draw, lo=-20.0, hi=20.0):
+    m1 = draw(st.floats(min_value=lo, max_value=hi, allow_nan=False))
+    m2 = draw(st.floats(min_value=m1, max_value=hi, allow_nan=False))
+    return FuzzyInterval(m1, m2, draw(_widths), draw(_widths))
+
+
+def _same(t1, t2):
+    """Tuple equality where NaN == NaN (division by a near-zero interval
+    can produce NaN spreads — the cache must still reproduce them)."""
+    return len(t1) == len(t2) and all(
+        (math.isnan(x) and math.isnan(y)) or x == y for x, y in zip(t1, t2)
+    )
+
+
+class TestCachedEqualsUncached:
+    @given(intervals(), intervals())
+    @settings(max_examples=80, deadline=None)
+    def test_arithmetic(self, a, b):
+        ops = CachedFuzzyOps()
+        for cached_fn, plain in (
+            (ops.add, lambda: a + b),
+            (ops.sub, lambda: a - b),
+            (ops.mul, lambda: a * b),
+        ):
+            first = cached_fn(a, b)
+            again = cached_fn(a, b)  # second call serves from cache
+            assert first.as_tuple() == plain().as_tuple()
+            assert again.as_tuple() == first.as_tuple()
+
+    @given(intervals(), intervals())
+    @settings(max_examples=80, deadline=None)
+    def test_division_and_error_caching(self, a, b):
+        ops = CachedFuzzyOps()
+        try:
+            expected = (a / b).as_tuple()
+        except ZeroDivisionError:
+            for _ in range(2):  # the failure must be cached and re-raised
+                with pytest.raises(ZeroDivisionError):
+                    ops.div(a, b)
+            return
+        assert _same(ops.div(a, b).as_tuple(), expected)
+        assert _same(ops.div(a, b).as_tuple(), expected)
+
+    @given(intervals(), intervals())
+    @settings(max_examples=80, deadline=None)
+    def test_intersection_hull(self, a, b):
+        ops = CachedFuzzyOps()
+        plain = a.intersection_hull(b)
+        cached = ops.intersection_hull(a, b)
+        if plain is None:
+            assert cached is None
+            assert ops.intersection_hull(a, b) is None
+        else:
+            assert cached.as_tuple() == plain.as_tuple()
+            assert ops.intersection_hull(a, b).as_tuple() == plain.as_tuple()
+
+    @given(intervals(), intervals())
+    @settings(max_examples=80, deadline=None)
+    def test_coincidence_classification(self, a, b):
+        ops = CachedFuzzyOps()
+        plain = classify(a, b)
+        assert ops.call(classify, a, b) == plain
+        assert ops.call(classify, a, b) == plain  # cache hit path
+
+
+class TestCachesAreBounded:
+    def test_ops_cache_bound(self):
+        ops = CachedFuzzyOps(maxsize=16)
+        for i in range(100):
+            ops.add(FuzzyInterval.crisp(float(i)), FuzzyInterval.crisp(1.0))
+        assert len(ops) <= 16
+        # Still correct after heavy eviction.
+        assert ops.add(
+            FuzzyInterval.crisp(3.0), FuzzyInterval.crisp(4.0)
+        ).as_tuple() == (FuzzyInterval.crisp(3.0) + FuzzyInterval.crisp(4.0)).as_tuple()
+
+    def test_intern_table_bound_and_canonical(self):
+        table = InternTable(maxsize=8)
+        a = FuzzyInterval(1.0, 2.0, 0.1, 0.2)
+        b = FuzzyInterval(1.0, 2.0, 0.1, 0.2)
+        assert table.intern(a) is a
+        assert table.intern(b) is a  # equal value, same canonical instance
+        for i in range(50):
+            table.intern(FuzzyInterval.crisp(float(i)))
+        assert len(table) <= 8
+        # After eviction a fresh instance becomes the new canonical one.
+        c = FuzzyInterval(1.0, 2.0, 0.1, 0.2)
+        assert table.intern(c) is c
+
+    def test_projection_cache_bound_and_sentinel(self):
+        cache = ProjectionCache(maxsize=4)
+        assert cache.lookup(("missing",)) is ProjectionCache.MISS
+        cache.store(("k", 1), None)  # cached None is distinct from MISS
+        assert cache.lookup(("k", 1)) is None
+        for i in range(20):
+            cache.store(("k", i), i)
+        assert len(cache) <= 4
+        stats = cache.stats()
+        assert stats["misses"] >= 1 and stats["entries"] <= 4
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            CachedFuzzyOps(maxsize=0)
+        with pytest.raises(ValueError):
+            InternTable(maxsize=-1)

@@ -109,6 +109,18 @@ class TestJobViews:
         assert cfg.max_candidate_size == 2
         assert isinstance(cfg.max_candidate_size, int)
 
+    def test_kernel_config_round_trips(self):
+        job = DiagnosisJob.build("u", NETLIST, _measure(), config={"kernel": "fast"})
+        assert job.flames_config().kernel == "fast"
+        # The kernel choice is part of the job identity (cache key).
+        plain = DiagnosisJob.build("u", NETLIST, _measure())
+        assert plain.flames_config().kernel == "reference"
+        assert job.content_hash != plain.content_hash
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ManifestError):
+            DiagnosisJob.build("u", NETLIST, _measure(), config={"kernel": "turbo"})
+
     def test_unknown_config_field_rejected(self):
         with pytest.raises(ManifestError):
             DiagnosisJob.build("u", NETLIST, _measure(), config={"bogus": 1})
