@@ -203,6 +203,45 @@ class TestKernelComparison:
         assert not result.is_consistent
 
 
+class TestTracingOverhead:
+    """Span collection must cost (almost) nothing when off, little when on.
+
+    Tracing off shares one no-op handle per ``RunContext.span`` call, so
+    the traced-vs-untraced gap on a full diagnosis cycle is bounded at
+    5% (plus a small absolute epsilon so sub-millisecond noise cannot
+    trip the guard on a fast machine).
+    """
+
+    def test_span_overhead_within_5_percent(self, emit):
+        from repro.core.diagnosis import FlamesConfig
+        from repro.runtime import RunContext
+
+        golden = three_stage_amplifier()
+        engine = Flames(golden, FlamesConfig(kernel="fast"))
+        engine.predictions()
+        op = DCSolver(apply_fault(golden, Fault(FaultKind.SHORT, "R2"))).solve()
+        measurements = probe_all(op, ["vs", "v2", "v1"], imprecision=0.02)
+
+        def run(tracing):
+            ctx = RunContext(tracing=tracing)
+            return engine.diagnose(measurements, ctx=ctx)
+
+        run(True)  # warm everything once before timing
+        base = _time(run, False, repeats=5)
+        traced = _time(run, True, repeats=5)
+        emit(
+            "tracing-overhead",
+            "span-collection overhead — full diagnosis cycle (fast kernel)\n"
+            f"{'tracing off':<14} {base * 1000:>8.2f}ms\n"
+            f"{'tracing on':<14} {traced * 1000:>8.2f}ms\n"
+            f"{'overhead':<14} {(traced / base - 1) * 100:>7.1f}%",
+        )
+        assert traced <= base * 1.05 + 0.002, (
+            f"tracing overhead too high: {base * 1000:.2f}ms -> "
+            f"{traced * 1000:.2f}ms ({(traced / base - 1) * 100:.1f}%)"
+        )
+
+
 class TestATMSGrowth:
     def test_growth_sweep(self, benchmark, emit):
         from repro.experiments.atms_growth import format_atms_growth, run_atms_growth

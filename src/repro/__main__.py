@@ -95,13 +95,19 @@ def _parse_probe(spec: str, imprecision: float) -> Measurement:
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
     from repro.core.diagnosis import FlamesConfig
+    from repro.runtime import RunContext, render_trace
 
     circuit = _load_circuit(args.netlist)
     engine = Flames(circuit, FlamesConfig(kernel=args.kernel))
     measurements = [_parse_probe(p, args.imprecision) for p in args.probe]
-    result = engine.diagnose(measurements)
+    ctx = None
+    if args.deadline is not None or args.trace:
+        if args.deadline is not None and args.deadline <= 0:
+            raise SystemExit("--deadline must be positive")
+        ctx = RunContext.with_timeout(args.deadline, tracing=args.trace)
+    result = engine.diagnose(measurements, ctx=ctx)
     refinements = None
-    if not result.is_consistent and not args.no_refine:
+    if not result.is_consistent and not result.interrupted and not args.no_refine:
         refinements = KnowledgeBase(circuit).refine(
             result.suspicions, measurements, top_k=5
         )
@@ -110,9 +116,17 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
 
         payload = diagnosis_to_dict(result, refinements)
         payload["circuit"] = circuit.name
+        if result.trace:
+            payload["trace"] = result.trace
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(render_report(result, refinements, title=f"diagnosis of {circuit.name}"))
+        if result.interrupted:
+            reason = (ctx.stop_reason or "stopped") if ctx else "stopped"
+            print(f"\n(partial result: run interrupted — {reason})")
+        if result.trace:
+            print()
+            print(render_trace(result.trace))
     return 0 if result.is_consistent else 1
 
 
@@ -131,6 +145,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             retries=args.retries,
             cache_size=args.cache_size,
+            tracing=args.trace,
         )
     except ValueError as exc:
         print(f"bad engine options: {exc}", file=sys.stderr)
@@ -249,6 +264,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="implementation substrate: bitmask/memoized fast kernel or the "
         "reference semantics (identical results; default reference)",
     )
+    diagnose.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds; on expiry the run winds down "
+        "cooperatively and reports a partial result",
+    )
+    diagnose.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect per-stage spans and print the trace tree (embedded "
+        "under 'trace' with --json)",
+    )
     diagnose.set_defaults(func=_cmd_diagnose)
 
     batch = sub.add_parser(
@@ -278,6 +306,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="run the manifest N times against the same warm cache (default 1)",
+    )
+    batch.add_argument(
+        "--trace",
+        action="store_true",
+        help="collect engine span trees per job (folded into the telemetry "
+        "digest as engine.* phases; on each result with --json)",
     )
     batch.add_argument(
         "--json",

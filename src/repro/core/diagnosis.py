@@ -12,20 +12,22 @@ sets, plus the per-probe consistency table that figure 7 reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from repro.atms import FuzzyATMS, WeightedNogood, minimal_diagnoses, suspicion_scores
+from repro.atms import WeightedNogood
 from repro.atms.candidates import Diagnosis
-from repro.atms.nodes import Node
 from repro.circuit.constraints import ConstraintNetwork
 from repro.circuit.measurements import Measurement
 from repro.circuit.netlist import Circuit
 from repro.core.conflicts import RecognizedConflict
-from repro.core.predict import predict_nominal
-from repro.core.propagation import FuzzyPropagator, PropagationResult, PropagatorConfig
-from repro.fuzzy import Consistency, FuzzyInterval, consistency
+from repro.core.predict import Prediction, predict_nominal
+from repro.core.propagation import PropagationResult, PropagatorConfig
+from repro.fuzzy import Consistency, FuzzyInterval
 from repro.fuzzy.logic import TNorm, t_norm_min
-from repro.kernel import FastFuzzyATMS, resolve_kernel
+from repro.kernel import resolve_kernel
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.runtime.context import RunContext
 
 __all__ = ["Flames", "FlamesConfig", "DiagnosisResult", "Diagnosis"]
 
@@ -77,6 +79,8 @@ class DiagnosisResult:
     suspicions: Dict[str, float]
     conflicts: List[RecognizedConflict] = field(default_factory=list)
     propagation: Optional[PropagationResult] = None
+    interrupted: bool = False
+    trace: Optional[Dict[str, object]] = None
 
     @property
     def is_consistent(self) -> bool:
@@ -91,7 +95,7 @@ class DiagnosisResult:
         """
         return self.prediction_support.get(point, frozenset())
 
-    def ranked_components(self) -> List[tuple]:
+    def ranked_components(self) -> List[Tuple[str, float]]:
         """(component, suspicion) pairs, most suspect first."""
         return sorted(self.suspicions.items(), key=lambda kv: (-kv[1], kv[0]))
 
@@ -111,7 +115,7 @@ class Flames:
         self.network = ConstraintNetwork(
             circuit, self.config.assumable_nodes, nominal_modes=self._design_modes(circuit)
         )
-        self._nominal: Optional[Dict[str, object]] = None
+        self._nominal: Optional[Dict[str, Prediction]] = None
 
     @staticmethod
     def _design_modes(circuit: Circuit) -> Dict[str, str]:
@@ -136,11 +140,13 @@ class Flames:
     def predictions(self) -> Dict[str, FuzzyInterval]:
         """Nominal predicted value per variable (tolerances propagated)."""
         self._ensure_nominal()
+        assert self._nominal is not None
         return {name: p.value for name, p in self._nominal.items()}
 
     def prediction_support(self) -> Dict[str, FrozenSet[str]]:
         """Components supporting each nominal prediction."""
         self._ensure_nominal()
+        assert self._nominal is not None
         return {name: p.support for name, p in self._nominal.items()}
 
     def _ensure_nominal(self) -> None:
@@ -150,74 +156,20 @@ class Flames:
     # ------------------------------------------------------------------
     # Diagnosis
     # ------------------------------------------------------------------
-    def diagnose(self, measurements: Sequence[Measurement]) -> DiagnosisResult:
-        """Run the full conflict-recognition + candidate-generation cycle."""
-        atms_cls = FastFuzzyATMS if self.config.kernel == "fast" else FuzzyATMS
-        atms = atms_cls(
-            t_norm=self.config.t_norm, hard_threshold=self.config.hard_threshold
-        )
-        assumption_nodes: Dict[str, Node] = {}
+    def diagnose(
+        self,
+        measurements: Sequence[Measurement],
+        ctx: Optional["RunContext"] = None,
+    ) -> DiagnosisResult:
+        """Run the full conflict-recognition + candidate-generation cycle.
 
-        def node_for(name: str) -> Node:
-            if name not in assumption_nodes:
-                assumption_nodes[name] = atms.create_assumption(f"ok({name})", name)
-            return assumption_nodes[name]
+        The cycle itself lives in :class:`repro.runtime.pipeline.
+        DiagnosisPipeline`, decomposed into named stages.  Passing a
+        ``ctx`` bounds the run (deadline / cancellation / step budget)
+        and, when its tracing flag is on, collects a span tree on the
+        returned result.  Without a context the call is unbounded and
+        byte-identical to the pre-staged engine.
+        """
+        from repro.runtime.pipeline import DiagnosisPipeline
 
-        data_conflicts: List[RecognizedConflict] = []
-
-        def on_conflict(conflict: RecognizedConflict) -> None:
-            if conflict.degree < self.config.conflict_threshold:
-                return
-            if not conflict.environment:
-                data_conflicts.append(conflict)
-                return
-            atms.declare_soft_nogood(
-                f"{conflict.variable}",
-                [node_for(n) for n in sorted(conflict.environment)],
-                conflict.degree,
-            )
-
-        propagator = FuzzyPropagator(
-            self.network, on_conflict=on_conflict, config=self.config.effective_propagator()
-        )
-        # Database predictions first (so mode guards and coincidence checks
-        # see them), then the observations.
-        self._ensure_nominal()
-        for name, prediction in self._nominal.items():
-            if name in self.network.variables:
-                propagator.set_value(
-                    name, prediction.value, prediction.support, source="prediction"
-                )
-        for m in measurements:
-            if m.point not in self.network.variables:
-                raise KeyError(f"no variable {m.point!r} in the model")
-            propagator.set_value(m.point, m.value)
-        outcome = propagator.run()
-
-        predictions = self.predictions()
-        support = self.prediction_support()
-        consistencies = {
-            m.point: consistency(m.value, predictions[m.point])
-            for m in measurements
-            if m.point in predictions
-        }
-        nogoods = atms.weighted_nogoods(self.config.conflict_threshold)
-        diagnoses = minimal_diagnoses(
-            nogoods,
-            threshold=self.config.conflict_threshold,
-            max_size=self.config.max_candidate_size,
-        )
-        suspicions = {
-            a.datum: s for a, s in suspicion_scores(nogoods).items()
-        }
-        return DiagnosisResult(
-            measurements=list(measurements),
-            predictions=predictions,
-            prediction_support=support,
-            consistencies=consistencies,
-            nogoods=nogoods,
-            diagnoses=diagnoses,
-            suspicions=suspicions,
-            conflicts=propagator.conflicts + data_conflicts,
-            propagation=outcome,
-        )
+        return DiagnosisPipeline(self).run(measurements, ctx=ctx)

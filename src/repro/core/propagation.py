@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, FrozenSet, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.runtime.context import RunContext
 
 from repro.circuit.constraints import Constraint, ConstraintNetwork
 from repro.core.coincidence import classify
@@ -72,11 +75,18 @@ class PropagatorConfig:
 
 @dataclass
 class PropagationResult:
-    """Outcome of a propagation run."""
+    """Outcome of a propagation run.
+
+    ``interrupted`` means the run's :class:`~repro.runtime.RunContext`
+    expired (deadline, cancellation or step budget) before quiescence:
+    every value established so far is still sound — propagation is
+    monotone — but further narrowing and conflicts may have been missed.
+    """
 
     steps: int
     conflicts: List[RecognizedConflict] = field(default_factory=list)
     quiescent: bool = True
+    interrupted: bool = False
 
 
 class FuzzyPropagator:
@@ -191,8 +201,12 @@ class FuzzyPropagator:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def run(self, constraints: Optional[Sequence[Constraint]] = None) -> PropagationResult:
-        """Propagate to quiescence (or the step cap).
+    def run(
+        self,
+        constraints: Optional[Sequence[Constraint]] = None,
+        ctx: Optional["RunContext"] = None,
+    ) -> PropagationResult:
+        """Propagate to quiescence (or the step cap, or the context's stop).
 
         Both kernels process the identical work list — the fixpoint is
         sensitive to firing order (combination caps, value eviction), so
@@ -203,6 +217,13 @@ class FuzzyPropagator:
         have any effect, so the skip is observationally a no-op.  Adding
         one measurement and re-running therefore recomputes only the
         affected cone while every result stays bit-identical.
+
+        ``ctx`` makes the loop cooperative: it is ticked once per
+        work-list pop (the same count on both kernels), and when it
+        reports expiry — deadline passed, cancellation requested or
+        step budget exhausted — the loop winds down immediately and the
+        result is flagged ``interrupted``.  Everything established up to
+        that point remains sound.
         """
         if constraints is not None:
             queue: List[Constraint] = list(constraints)
@@ -212,6 +233,13 @@ class FuzzyPropagator:
         steps = 0
         start_conflicts = len(self._conflicts)
         while queue:
+            if ctx is not None and ctx.tick():
+                return PropagationResult(
+                    steps,
+                    self._conflicts[start_conflicts:],
+                    quiescent=False,
+                    interrupted=True,
+                )
             if steps >= self.config.max_steps:
                 return PropagationResult(
                     steps, self._conflicts[start_conflicts:], quiescent=False

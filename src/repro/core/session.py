@@ -17,7 +17,7 @@ exposed rather than hidden behind a verdict.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.circuit.measurements import Measurement, probe
 from repro.circuit.netlist import Circuit
@@ -27,6 +27,9 @@ from repro.core.knowledge import KnowledgeBase, ModeMatch
 from repro.core.learning import ExperienceBase, LearnedRule, SymptomSignature
 from repro.core.report import render_report
 from repro.core.strategy import BestTestPlanner, TestRecommendation
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.runtime.context import RunContext
 
 __all__ = ["TroubleshootingSession"]
 
@@ -68,21 +71,27 @@ class TroubleshootingSession:
     # ------------------------------------------------------------------
     # Observations
     # ------------------------------------------------------------------
-    def observe(self, *measurements: Measurement) -> DiagnosisResult:
-        """Add measurements and re-diagnose."""
+    def observe(
+        self, *measurements: Measurement, ctx: Optional["RunContext"] = None
+    ) -> DiagnosisResult:
+        """Add measurements and re-diagnose (bounded by ``ctx`` if given)."""
         if not measurements:
             raise ValueError("observe() needs at least one measurement")
         for m in measurements:
             self.measurements = [x for x in self.measurements if x.point != m.point]
             self.measurements.append(m)
-        self._result = self.engine.diagnose(self.measurements)
+        self._result = self.engine.diagnose(self.measurements, ctx=ctx)
         return self._result
 
     def observe_probe(
-        self, op: OperatingPoint, net: str, imprecision: float = 0.02
+        self,
+        op: OperatingPoint,
+        net: str,
+        imprecision: float = 0.02,
+        ctx: Optional["RunContext"] = None,
     ) -> DiagnosisResult:
         """Convenience: probe a simulated bench and observe the reading."""
-        return self.observe(probe(op, net, imprecision))
+        return self.observe(probe(op, net, imprecision), ctx=ctx)
 
     @property
     def result(self) -> DiagnosisResult:
@@ -133,10 +142,12 @@ class TroubleshootingSession:
     # Next test
     # ------------------------------------------------------------------
     def recommend_next(
-        self, available: Optional[Sequence[str]] = None
+        self,
+        available: Optional[Sequence[str]] = None,
+        ctx: Optional["RunContext"] = None,
     ) -> Optional[TestRecommendation]:
         """The §8 unit: the probe minimising expected fuzzy entropy."""
-        return self.planner.best(self.result, available)
+        return self.planner.best(self.result, available, ctx=ctx)
 
     # ------------------------------------------------------------------
     # Closure

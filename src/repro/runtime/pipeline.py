@@ -1,0 +1,173 @@
+"""The staged diagnosis pipeline — figure 3 as explicit, observable stages.
+
+``Flames.diagnose`` used to be one opaque method; this module is the
+same computation decomposed into named stages, each wrapped in a
+:class:`~repro.runtime.spans.Span` and each checking the run's
+:class:`~repro.runtime.context.RunContext`:
+
+* ``nominal``    — solve/refresh the model database's nominal predictions;
+* ``seed``       — build the fuzzy ATMS + propagator and assert the
+  predictions and measurements;
+* ``propagate``  — run the constraint-propagation fixpoint (the only
+  long stage: it ticks the context per work-list pop and winds down
+  cooperatively on expiry);
+* ``classify``   — per-probe consistency (the figure-7 Dc table);
+* ``nogoods``    — collect the weighted nogoods above threshold;
+* ``candidates`` — minimal hitting sets (the candidate spaces);
+* ``score``      — per-component suspicion degrees.
+
+Interruption contract: when the context expires mid-``propagate`` the
+downstream stages still run on whatever the fixpoint had established, so
+the caller always receives a *well-formed* :class:`DiagnosisResult`; the
+result (and its ``propagation`` outcome) is flagged ``interrupted`` and
+is never cached by the service layer.  With an unbounded, untraced
+context the pipeline is byte-identical to the pre-staged engine — the
+golden snapshots in ``tests/golden`` pin that down.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+from repro.atms import FuzzyATMS, minimal_diagnoses, suspicion_scores
+from repro.atms.nodes import Node
+from repro.circuit.measurements import Measurement
+from repro.core.conflicts import RecognizedConflict
+from repro.core.propagation import FuzzyPropagator
+from repro.fuzzy import consistency
+from repro.kernel import FastFuzzyATMS
+from repro.runtime.context import RunContext
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core -> runtime)
+    from repro.core.diagnosis import DiagnosisResult, Flames
+
+__all__ = ["DiagnosisPipeline", "STAGES"]
+
+#: The stage names, in execution order (also the span names).
+STAGES = (
+    "nominal",
+    "seed",
+    "propagate",
+    "classify",
+    "nogoods",
+    "candidates",
+    "score",
+)
+
+
+class DiagnosisPipeline:
+    """One engine's diagnose cycle as explicit, interruptible stages."""
+
+    def __init__(self, engine: "Flames") -> None:
+        self.engine = engine
+
+    def run(
+        self, measurements: Sequence[Measurement], ctx: Optional[RunContext] = None
+    ) -> "DiagnosisResult":
+        """Run every stage; always returns a well-formed result."""
+        from repro.core.diagnosis import DiagnosisResult
+
+        engine = self.engine
+        config = engine.config
+        if ctx is None:
+            ctx = RunContext.background()
+
+        with ctx.span(
+            "diagnose", circuit=engine.circuit.name, kernel=config.kernel
+        ):
+            with ctx.span("nominal"):
+                engine._ensure_nominal()
+            nominal = engine._nominal
+            assert nominal is not None
+
+            atms_cls = FastFuzzyATMS if config.kernel == "fast" else FuzzyATMS
+            atms = atms_cls(
+                t_norm=config.t_norm, hard_threshold=config.hard_threshold
+            )
+            assumption_nodes: Dict[str, Node] = {}
+
+            def node_for(name: str) -> Node:
+                if name not in assumption_nodes:
+                    assumption_nodes[name] = atms.create_assumption(f"ok({name})", name)
+                return assumption_nodes[name]
+
+            data_conflicts: List[RecognizedConflict] = []
+
+            def on_conflict(conflict: RecognizedConflict) -> None:
+                if conflict.degree < config.conflict_threshold:
+                    return
+                if not conflict.environment:
+                    data_conflicts.append(conflict)
+                    return
+                atms.declare_soft_nogood(
+                    f"{conflict.variable}",
+                    [node_for(n) for n in sorted(conflict.environment)],
+                    conflict.degree,
+                )
+
+            with ctx.span("seed"):
+                propagator = FuzzyPropagator(
+                    engine.network,
+                    on_conflict=on_conflict,
+                    config=config.effective_propagator(),
+                )
+                # Database predictions first (so mode guards and coincidence
+                # checks see them), then the observations.
+                for name, prediction in nominal.items():
+                    if name in engine.network.variables:
+                        propagator.set_value(
+                            name,
+                            prediction.value,
+                            prediction.support,
+                            source="prediction",
+                        )
+                for m in measurements:
+                    if m.point not in engine.network.variables:
+                        raise KeyError(f"no variable {m.point!r} in the model")
+                    propagator.set_value(m.point, m.value)
+
+            with ctx.span("propagate") as span:
+                outcome = propagator.run(ctx=ctx)
+                if span is not None:
+                    span.meta["steps"] = outcome.steps
+                    span.meta["quiescent"] = outcome.quiescent
+
+            # The remaining stages are cheap bookkeeping over whatever the
+            # fixpoint established: they run even after an interruption so
+            # the partial result is well-formed (ranked, classified,
+            # serialisable) — the flag below tells the caller it is partial.
+            with ctx.span("classify"):
+                predictions = engine.predictions()
+                support = engine.prediction_support()
+                consistencies = {
+                    m.point: consistency(m.value, predictions[m.point])
+                    for m in measurements
+                    if m.point in predictions
+                }
+            with ctx.span("nogoods"):
+                nogoods = atms.weighted_nogoods(config.conflict_threshold)
+            with ctx.span("candidates"):
+                diagnoses = minimal_diagnoses(
+                    nogoods,
+                    threshold=config.conflict_threshold,
+                    max_size=config.max_candidate_size,
+                )
+            with ctx.span("score"):
+                suspicions = {
+                    a.datum: s for a, s in suspicion_scores(nogoods).items()
+                }
+
+            ctx.should_stop()  # latch expiry observed after the last stage
+            return DiagnosisResult(
+                measurements=list(measurements),
+                predictions=predictions,
+                prediction_support=support,
+                consistencies=consistencies,
+                nogoods=nogoods,
+                diagnoses=diagnoses,
+                suspicions=suspicions,
+                conflicts=propagator.conflicts + data_conflicts,
+                propagation=outcome,
+                interrupted=ctx.interrupted or outcome.interrupted,
+                trace=ctx.trace() if ctx.tracing else None,
+            )

@@ -20,24 +20,36 @@ Operational behaviour, in one place:
   (CPU-bound work runs on a thread-pool executor of that width) and at
   most ``queue_size`` more may wait; beyond that the server sheds load
   with ``503`` + ``Retry-After`` (see :mod:`repro.server.queueing`);
-* **per-request timeout** — a request that exceeds ``timeout`` seconds
-  gets ``504``; the worker thread finishes in the background and still
-  warms the cache for the retry;
+* **per-request deadline** — every diagnose request runs under a
+  :class:`~repro.runtime.context.RunContext` whose deadline is the
+  server's ``timeout`` budget, threaded down to the propagator's
+  fixpoint loop.  A run that exhausts the budget winds down
+  cooperatively and the response is ``504`` carrying the *partial*
+  (well-formed, uncached) result; if the event loop's own timer fires
+  first, the context is **cancelled** so the worker thread stops
+  burning CPU instead of finishing in the background;
+* **trace joins** — a client-supplied ``X-Request-Id`` header (when
+  well-formed) becomes the request id *and* the engine trace id, so
+  retried attempts of one logical request correlate across logs and
+  span trees; ``?trace=1`` on ``/v1/diagnose`` returns the engine's
+  span tree in the response payload;
 * **graceful drain** — SIGTERM/SIGINT stops accepting connections,
   answers in-flight requests, flushes a final telemetry summary to the
   log, then exits 0;
-* **structured logging** — one JSON line per request with a request id
-  (also echoed in the ``X-Request-Id`` response header), method, path,
-  status, queue wait and handling time.
+* **structured logging** — one JSON line per request with the request
+  id (also echoed in the ``X-Request-Id`` response header), method,
+  path, status, queue wait and handling time.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import functools
 import itertools
 import json
 import logging
+import re
 import signal
 import time
 import uuid
@@ -45,6 +57,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.runtime.context import RunContext
 from repro.server.http import (
     HttpError,
     HttpRequest,
@@ -59,6 +72,9 @@ from repro.service.jobs import DiagnosisJob
 __all__ = ["ServerConfig", "DiagnosisServer", "run", "main"]
 
 log = logging.getLogger("repro.server")
+
+#: Shape a client-supplied X-Request-Id must match to be honoured.
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
 
 @dataclass
@@ -220,9 +236,21 @@ class DiagnosisServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    def _request_id(self, request: HttpRequest) -> str:
+        """The request's id: the client's ``X-Request-Id`` when well-formed.
+
+        Honouring the client's id lets one logical request keep a single
+        trace across client-side retries; a missing or malformed header
+        falls back to a server-minted id.
+        """
+        supplied = request.headers.get("x-request-id", "")
+        if supplied and _REQUEST_ID_RE.match(supplied):
+            return supplied
+        return f"{self._id_prefix}-{next(self._request_ids):06d}"
+
     async def _dispatch(self, request: HttpRequest, writer) -> bool:
         """Route one request, write one response; returns keep-alive."""
-        request_id = f"{self._id_prefix}-{next(self._request_ids):06d}"
+        request_id = self._request_id(request)
         started = time.perf_counter()
         self._inflight += 1
         self._idle.clear()
@@ -337,9 +365,17 @@ class DiagnosisServer:
             job = job_from_spec(spec, index=0)
         except ManifestError as exc:
             raise HttpError(400, str(exc)) from None
-        result = await self._admitted(self.engine.run_job, job)
+        tracing = request.query.get("trace", "") in ("1", "true", "yes")
+        ctx = RunContext.with_timeout(
+            self.config.timeout, trace_id=request_id, tracing=tracing
+        )
+        result = await self._admitted(self.engine.run_job, job, ctx=ctx)
         payload = result.to_dict()
         payload["request_id"] = request_id
+        if result.status == "interrupted":
+            # The budget expired in-band: the engine wound down and this
+            # is the partial (uncached) result — a 504 with substance.
+            return 504, payload, {}
         return 200, payload, {}
 
     async def _handle_batch(
@@ -366,17 +402,38 @@ class DiagnosisServer:
         }
         return 200, payload, {}
 
-    async def _admitted(self, fn, arg):
-        """Run blocking engine work under admission control + timeout."""
+    async def _admitted(self, fn, arg, ctx: Optional[RunContext] = None):
+        """Run blocking engine work under admission control + timeout.
+
+        ``ctx`` is the request's :class:`RunContext`; the normal expiry
+        path is *in-band* (the engine observes its own deadline and
+        returns an interrupted result before the event-loop timer
+        fires).  When the timer does fire first — the job is stuck
+        outside the cooperative loop — the context is cancelled so the
+        worker thread winds down instead of burning CPU on an answer
+        nobody is waiting for.
+        """
         async with self.admission.slot(self._mean_job_seconds):
             loop = asyncio.get_running_loop()
             started = time.perf_counter()
-            future = loop.run_in_executor(self._executor, fn, arg)
-            try:
-                result = await asyncio.wait_for(
-                    asyncio.shield(future), timeout=self.config.timeout
+            if ctx is not None:
+                future = loop.run_in_executor(
+                    self._executor, functools.partial(fn, arg, ctx)
                 )
+                # Give the in-band deadline a grace period to win: the
+                # engine observes its own expiry at ``timeout`` and winds
+                # down with a partial result; the event-loop timer is the
+                # hard backstop for work stuck outside the cooperative
+                # loop.
+                budget = self.config.timeout + max(0.25, 0.25 * self.config.timeout)
+            else:
+                future = loop.run_in_executor(self._executor, fn, arg)
+                budget = self.config.timeout
+            try:
+                result = await asyncio.wait_for(asyncio.shield(future), timeout=budget)
             except asyncio.TimeoutError:
+                if ctx is not None:
+                    ctx.cancel()
                 self.telemetry.incr("http_timeouts")
                 raise
             elapsed = time.perf_counter() - started

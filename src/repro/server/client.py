@@ -12,6 +12,11 @@ exponential backoff, honouring the server's ``Retry-After`` hint up to
 ``max_delay``.  Any other non-2xx answer raises immediately —
 :class:`ClientError` carries the status and the server's JSON error
 body, so a 400 tells you exactly which field was malformed.
+
+Every logical request mints one ``X-Request-Id`` and sends it on
+*every* retry attempt; the server honours it as the request id and the
+engine trace id, so all attempts of one request join into a single
+trace in the server's logs and span trees.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ import http.client
 import json
 import socket
 import time
+import uuid
 from typing import Dict, List, Optional
 
 __all__ = ["DiagnosisClient", "ClientError", "ServerUnavailable"]
@@ -29,7 +35,15 @@ class ClientError(Exception):
     """A non-retryable (or retries-exhausted) HTTP-level failure."""
 
     def __init__(self, status: int, payload: Dict):
-        message = payload.get("error", {}).get("message") if isinstance(payload, dict) else None
+        # ``error`` is a {"message": ...} object on protocol errors but a
+        # bare string on interrupted results — accept both shapes.
+        message = None
+        if isinstance(payload, dict):
+            error = payload.get("error")
+            if isinstance(error, dict):
+                message = error.get("message")
+            elif error:
+                message = str(error)
         super().__init__(f"HTTP {status}: {message or payload}")
         self.status = status
         self.payload = payload
@@ -106,7 +120,10 @@ class DiagnosisClient:
         retry_503: bool = True,
     ) -> Dict:
         body = None
-        headers = {"Accept": "application/json"}
+        # One id per *logical* request, reused verbatim across retry
+        # attempts — the server adopts it, so retries share one trace.
+        request_id = f"cli-{uuid.uuid4().hex[:16]}"
+        headers = {"Accept": "application/json", "X-Request-Id": request_id}
         if payload is not None:
             body = json.dumps(payload).encode()
             headers["Content-Type"] = "application/json"
@@ -177,9 +194,14 @@ class DiagnosisClient:
     def metrics(self) -> Dict:
         return self._request("GET", "/metrics")
 
-    def diagnose(self, spec: Dict) -> Dict:
-        """POST one job spec (the batch-manifest job shape) → JobResult dict."""
-        return self._request("POST", "/v1/diagnose", spec)
+    def diagnose(self, spec: Dict, trace: bool = False) -> Dict:
+        """POST one job spec (the batch-manifest job shape) → JobResult dict.
+
+        ``trace=True`` asks the server for the engine's span tree
+        (returned under the result's ``"trace"`` key).
+        """
+        path = "/v1/diagnose?trace=1" if trace else "/v1/diagnose"
+        return self._request("POST", path, spec)
 
     def batch(self, specs: List[Dict]) -> Dict:
         """POST a list of job specs → results in job order."""

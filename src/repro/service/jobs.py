@@ -216,6 +216,16 @@ def diagnosis_to_dict(
     """
     from repro.core.learning import SymptomSignature
 
+    stats = {
+        "propagation_steps": result.propagation.steps if result.propagation else 0,
+        "quiescent": bool(result.propagation.quiescent) if result.propagation else True,
+        "nogoods": len(result.nogoods),
+        "conflicts": len(result.conflicts),
+    }
+    # Conditional so uninterrupted payloads keep the exact pre-runtime
+    # key set (the golden snapshots compare keys byte-for-byte).
+    if result.interrupted:
+        stats["interrupted"] = True
     return {
         "status": "consistent" if result.is_consistent else "faulty",
         "measurements": [measurement_to_dict(m) for m in result.measurements],
@@ -236,12 +246,7 @@ def diagnosis_to_dict(
             for r in (refinements or [])
         ],
         "signature": SymptomSignature.from_result(result).to_list(),
-        "stats": {
-            "propagation_steps": result.propagation.steps if result.propagation else 0,
-            "quiescent": bool(result.propagation.quiescent) if result.propagation else True,
-            "nogoods": len(result.nogoods),
-            "conflicts": len(result.conflicts),
-        },
+        "stats": stats,
     }
 
 
@@ -251,17 +256,21 @@ class JobResult:
 
     ``diagnosis`` carries the :func:`diagnosis_to_dict` payload for ok
     results and is empty for error/timeout ones; either way the batch
-    completes and every unit gets an entry.
+    completes and every unit gets an entry.  ``interrupted`` results
+    carry the *partial* payload the engine wound down with — well-formed
+    but incomplete, so the service never caches them.  ``trace`` holds
+    the engine's span tree when the run was traced (empty otherwise).
     """
 
     unit: str
     content_hash: str
-    status: str  # "ok" | "error" | "timeout"
+    status: str  # "ok" | "error" | "timeout" | "interrupted"
     diagnosis: Dict = field(default_factory=dict)
     error: str = ""
     elapsed: float = 0.0
     attempts: int = 1
     cache_hit: bool = False
+    trace: Dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -294,7 +303,7 @@ class JobResult:
         )
 
     def to_dict(self) -> Dict:
-        return {
+        data = {
             "unit": self.unit,
             "content_hash": self.content_hash,
             "status": self.status,
@@ -304,6 +313,9 @@ class JobResult:
             "attempts": self.attempts,
             "cache_hit": self.cache_hit,
         }
+        if self.trace:
+            data["trace"] = self.trace
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "JobResult":
@@ -316,6 +328,7 @@ class JobResult:
             elapsed=float(data.get("elapsed", 0.0)),
             attempts=int(data.get("attempts", 1)),
             cache_hit=bool(data.get("cache_hit", False)),
+            trace=dict(data.get("trace", {})),
         )
 
 

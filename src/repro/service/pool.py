@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.diagnosis import Flames
 from repro.core.knowledge import KnowledgeBase
 from repro.core.learning import Episode, ExperienceBase, SymptomSignature
+from repro.runtime.context import RunContext
 from repro.service.cache import ResultCache
 from repro.service.jobs import DiagnosisJob, JobResult, diagnosis_to_dict
 from repro.service.telemetry import Telemetry
@@ -46,29 +47,47 @@ __all__ = ["FleetEngine", "BatchReport", "execute_job"]
 EXECUTORS = ("process", "thread", "serial")
 
 
-def execute_job(job: DiagnosisJob) -> Dict:
+def execute_job(
+    job: DiagnosisJob,
+    deadline_seconds: Optional[float] = None,
+    tracing: bool = False,
+    ctx: Optional[RunContext] = None,
+) -> Dict:
     """Run one job to a plain-dict outcome (the worker entry point).
 
     Module-level and dealing only in plain data so it pickles into
-    worker processes.  Exceptions are converted into an ``error``
-    payload — a crashing job must produce a result, not a dead pool.
+    worker processes; the deadline crosses the boundary *in-band* as
+    ``deadline_seconds`` (a :class:`RunContext` is built worker-side),
+    so a budgeted job winds down cooperatively inside the pool instead
+    of burning CPU after its future is abandoned.  An in-process caller
+    (the server's executor thread) may pass a live ``ctx`` instead —
+    sharing its cancel token — which takes precedence.  Exceptions are
+    converted into an ``error`` payload — a crashing job must produce a
+    result, not a dead pool.
     """
     start = time.perf_counter()
+    if ctx is None and (deadline_seconds is not None or tracing):
+        ctx = RunContext.with_timeout(deadline_seconds, tracing=tracing)
     try:
         circuit = job.circuit()
         measurements = job.to_measurements()
         engine = Flames(circuit, job.flames_config())
-        result = engine.diagnose(measurements)
+        result = engine.diagnose(measurements, ctx=ctx)
         refinements = None
-        if not result.is_consistent:
+        if not result.is_consistent and not result.interrupted:
             refinements = KnowledgeBase(circuit).refine(
                 result.suspicions, measurements, top_k=5
             )
-        return {
-            "status": "ok",
+        payload = {
+            "status": "interrupted" if result.interrupted else "ok",
             "diagnosis": diagnosis_to_dict(result, refinements),
             "elapsed": time.perf_counter() - start,
         }
+        if result.interrupted and ctx is not None:
+            payload["error"] = f"run interrupted: {ctx.stop_reason or 'stopped'}"
+        if result.trace:
+            payload["trace"] = result.trace
+        return payload
     except Exception as exc:
         tail = traceback.format_exc(limit=3)
         return {
@@ -118,12 +137,18 @@ class FleetEngine:
         executor: ``"process"`` (default — diagnosis is CPU-bound),
             ``"thread"`` (cheap startup; useful for tests and small
             batches) or ``"serial"`` (inline, no pool at all).
-        timeout: per-job seconds before a ``timeout`` result is
-            recorded (``None`` = wait forever).  A timed-out worker
-            process may linger until the batch ends; the batch itself
-            always completes.  Not enforceable for ``serial``.
+        timeout: per-job seconds.  The budget travels *in-band*: each
+            worker builds a :class:`RunContext` deadline and winds down
+            cooperatively, yielding a partial ``interrupted`` result.
+            The pool keeps a hard backstop (``timeout`` plus a grace
+            period) for jobs stuck outside the cooperative loop — those
+            still yield a ``timeout`` result and may linger until the
+            batch ends.  ``None`` = unbounded.
         retries: extra attempts granted to a job whose worker crashed
-            or whose pool broke (timeouts are not retried).
+            or whose pool broke (timeouts and interruptions are not
+            retried).
+        tracing: collect engine span trees on every job; traces ride on
+            the results and fold into the telemetry phase table.
         cache: shared :class:`ResultCache` (one is built when omitted);
             persists across batches for warm-pass speedups.
         cache_size: capacity of the built cache when ``cache`` is None.
@@ -142,6 +167,7 @@ class FleetEngine:
         cache_size: int = 256,
         telemetry: Optional[Telemetry] = None,
         experience: Optional[ExperienceBase] = None,
+        tracing: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -156,6 +182,7 @@ class FleetEngine:
         self.cache = cache if cache is not None else ResultCache(cache_size)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.experience = experience if experience is not None else ExperienceBase()
+        self.tracing = bool(tracing)
 
     # ------------------------------------------------------------------
     # The pipeline
@@ -221,7 +248,7 @@ class FleetEngine:
             rules_learned=learned,
         )
 
-    def run_job(self, job: DiagnosisJob) -> JobResult:
+    def run_job(self, job: DiagnosisJob, ctx: Optional[RunContext] = None) -> JobResult:
         """Diagnose one unit synchronously through the shared state.
 
         The long-lived-owner entry point the diagnosis server calls from
@@ -229,7 +256,10 @@ class FleetEngine:
         engine's retry budget, cache fill, experience merge and
         telemetry — the ``run_batch`` pipeline for a fleet of one,
         without spinning up a pool.  Thread-safe: cache, telemetry and
-        experience each guard themselves.
+        experience each guard themselves.  A caller-supplied ``ctx``
+        carries the request's deadline, cancel token and trace id into
+        the engine (the server's per-request budget); otherwise the
+        engine's own ``timeout``/``tracing`` settings apply.
         """
         tel = self.telemetry
         key = job.content_hash
@@ -240,12 +270,15 @@ class FleetEngine:
             attempts = 0
             while True:
                 attempts += 1
-                payload = execute_job(job)
-                if payload["status"] == "ok" or attempts > self.retries:
+                payload = execute_job(
+                    job, deadline_seconds=self.timeout, tracing=self.tracing, ctx=ctx
+                )
+                if payload["status"] != "error" or attempts > self.retries:
                     break
                 tel.incr("retries")
             result = self._to_result(job, key, payload, attempts)
             if result.ok:
+                # Interrupted results are partial: never cached.
                 self.cache.put(key, result)
         self._merge_experience([job], [result])
         self._record_result(result)
@@ -264,6 +297,8 @@ class FleetEngine:
             tel.incr("propagation_passes")
             tel.incr("propagation_steps", stats.get("propagation_steps", 0))
             tel.incr("nogoods_found", stats.get("nogoods", 0))
+        if res.trace:
+            tel.record_trace(res.trace)
 
     # ------------------------------------------------------------------
     # Execution with retry / timeout / graceful degradation
@@ -281,8 +316,10 @@ class FleetEngine:
             attempts = 0
             while True:
                 attempts += 1
-                payload = execute_job(job)
-                if payload["status"] == "ok" or attempts > self.retries:
+                payload = execute_job(
+                    job, deadline_seconds=self.timeout, tracing=self.tracing
+                )
+                if payload["status"] != "error" or attempts > self.retries:
                     break
                 self.telemetry.incr("retries")
             results[key] = self._to_result(job, key, payload, attempts)
@@ -292,22 +329,34 @@ class FleetEngine:
         results: Dict[str, JobResult] = {}
         attempts = {key: 0 for key in pending}
         executor = self._make_executor()
+        # The deadline travels in-band (the worker winds down on its own);
+        # the pool-side wait adds a grace period and acts as a hard-kill
+        # backstop for jobs hung outside the cooperative loop.
+        backstop = (
+            self.timeout + max(1.0, 0.25 * self.timeout)
+            if self.timeout is not None
+            else None
+        )
         try:
             while pending:
                 futures: Dict[str, Future] = {}
                 for key, job in pending.items():
                     attempts[key] += 1
                     try:
-                        futures[key] = executor.submit(execute_job, job)
+                        futures[key] = executor.submit(
+                            execute_job, job, self.timeout, self.tracing
+                        )
                     except (BrokenExecutor, RuntimeError):
                         executor = self._revive(executor)
-                        futures[key] = executor.submit(execute_job, job)
+                        futures[key] = executor.submit(
+                            execute_job, job, self.timeout, self.tracing
+                        )
                 retry: Dict[str, DiagnosisJob] = {}
                 for key, future in futures.items():
                     job = pending[key]
                     timed_out = False
                     try:
-                        payload = future.result(timeout=self.timeout)
+                        payload = future.result(timeout=backstop)
                     except FuturesTimeoutError:
                         future.cancel()
                         timed_out = True
@@ -367,6 +416,7 @@ class FleetEngine:
             elapsed=float(payload.get("elapsed", 0.0)),
             attempts=attempts,
             cache_hit=False,
+            trace=dict(payload.get("trace") or {}),
         )
         if not result.ok:
             self.telemetry.event(

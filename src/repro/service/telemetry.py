@@ -15,15 +15,22 @@ collects three cheap primitives behind one lock:
 plus a bounded **event log** of structured dicts for per-job forensics.
 ``snapshot()`` returns everything as plain data (JSON-safe);
 ``summary()`` renders the human-readable digest the batch CLI prints.
+
+Phases are measured with the same :class:`~repro.runtime.spans.Span`
+primitive the engine's :class:`~repro.runtime.context.RunContext` uses,
+and :meth:`Telemetry.record_trace` folds an engine span tree into the
+phase table under dotted ``engine.<stage>`` names — one timing
+mechanism from the propagator's fixpoint up to ``/metrics``.
 """
 
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from contextlib import contextmanager
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
+
+from repro.runtime.spans import Span
 
 __all__ = ["Telemetry", "percentile"]
 
@@ -77,17 +84,41 @@ class Telemetry:
                 self._samples[name].append(value)
 
     @contextmanager
-    def phase(self, name: str) -> Iterator[None]:
-        """Accumulate the wall-clock spent inside the ``with`` block."""
-        start = time.perf_counter()
+    def phase(self, name: str) -> Iterator[Span]:
+        """Accumulate the wall-clock spent inside the ``with`` block.
+
+        Measured with a :class:`Span` — the same primitive engine traces
+        use — which the block may annotate via ``span.meta``.
+        """
+        span = Span(name=name)
+        span.begin()
         try:
-            yield
+            yield span
         finally:
-            elapsed = time.perf_counter() - start
-            with self._lock:
-                bucket = self._phases.setdefault(name, [0.0, 0])
-                bucket[0] += elapsed
-                bucket[1] += 1
+            span.finish()
+            self.record_span(span)
+
+    def record_span(self, span: Span, prefix: str = "") -> None:
+        """Fold one finished span (and its subtree) into the phase table."""
+        name = f"{prefix}.{span.name}" if prefix else span.name
+        with self._lock:
+            bucket = self._phases.setdefault(name, [0.0, 0])
+            bucket[0] += span.seconds
+            bucket[1] += 1
+        for child in span.children:
+            self.record_span(child, prefix=name)
+
+    def record_trace(self, trace: Optional[Dict], prefix: str = "engine") -> None:
+        """Fold an engine trace (``RunContext.trace()`` dict) into the phases.
+
+        Stage timings land under dotted names (``engine.diagnose.propagate``
+        ...), so per-stage engine time surfaces in ``/metrics`` and the
+        batch digest with no second bookkeeping path.
+        """
+        if not trace:
+            return
+        for span_dict in trace.get("spans", ()):
+            self.record_span(Span.from_dict(span_dict), prefix=prefix)
 
     def event(self, kind: str, **fields: object) -> None:
         """Append one structured event (oldest events roll off)."""

@@ -27,6 +27,7 @@ from repro.circuit.simulate import DCSolver
 from repro.core.diagnosis import Flames, FlamesConfig
 from repro.core.predict import predict_nominal
 from repro.core.propagation import FuzzyPropagator, PropagatorConfig
+from repro.runtime import RunContext
 
 TOL = 1e-9
 
@@ -159,6 +160,96 @@ def _incremental_states(circuit, faulty, nets, kernel):
         prop.run()
         snap()
     return snapshots
+
+
+def _assert_same_partial(ref, fast):
+    """The two kernels' (possibly partial) results must agree exactly."""
+    assert ref.propagation.steps == fast.propagation.steps
+    assert ref.propagation.quiescent == fast.propagation.quiescent
+    assert ref.propagation.interrupted == fast.propagation.interrupted
+    ranked_ref = ref.ranked_components()
+    ranked_fast = fast.ranked_components()
+    assert [c for c, _ in ranked_ref] == [c for c, _ in ranked_fast]
+    for (_, dr), (_, df) in zip(ranked_ref, ranked_fast):
+        assert math.isclose(dr, df, rel_tol=0, abs_tol=TOL)
+    assert sorted(map(_nogood_key, ref.nogoods)) == sorted(map(_nogood_key, fast.nogoods))
+    diag_ref = [(tuple(sorted(d.components)), d.degree) for d in ref.diagnoses]
+    diag_fast = [(tuple(sorted(d.components)), d.degree) for d in fast.diagnoses]
+    assert diag_ref == diag_fast
+    assert len(ref.conflicts) == len(fast.conflicts)
+    for cr, cf in zip(ref.conflicts, fast.conflicts):
+        assert cr.variable == cf.variable
+        assert cr.environment == cf.environment
+
+
+class TestInterruptionDifferential:
+    """Expiring mid-propagation must leave *identical partial semantics*
+    on both kernels.
+
+    Budgets are charged once per work-list pop and the kernels process
+    the identical work list (pinned by the step-count assertions above),
+    so a step budget — or a deterministic fake clock advanced per check
+    — cuts both runs at exactly the same pop.  The partial result must
+    still be well-formed: ranked, classified, serialisable, flagged.
+    """
+
+    def _ladder_scenario(self):
+        maker = lambda: resistor_ladder(16)
+        fault = Fault(FaultKind.OPEN, "Rp3")
+        faulty = apply_fault(maker(), fault)
+        op = DCSolver(faulty).solve()
+        nets = [n for n in sorted(op.voltages) if n != "0"][:8]
+        measurements = probe_all(op, nets, imprecision=0.02)
+        return maker, measurements
+
+    def _run(self, maker, measurements, kernel, ctx):
+        engine = Flames(maker(), FlamesConfig(kernel=kernel))
+        return engine.diagnose(measurements, ctx=ctx)
+
+    def test_step_budget_interrupts_both_kernels_identically(self):
+        maker, measurements = self._ladder_scenario()
+        full = self._run(maker, measurements, "reference", None)
+        assert full.propagation.quiescent and not full.interrupted
+        budget = full.propagation.steps // 2
+        assert budget > 0, "scenario too small to interrupt mid-propagation"
+
+        results = {}
+        for kernel in ("reference", "fast"):
+            ctx = RunContext(step_budget=budget)
+            result = self._run(maker, measurements, kernel, ctx)
+            assert result.interrupted
+            assert ctx.stop_reason == "step-budget"
+            assert result.propagation.interrupted
+            assert not result.propagation.quiescent
+            results[kernel] = result
+        ref, fast = results["reference"], results["fast"]
+        # The budget is charged *before* each pop, so exactly budget-1
+        # pops execute — deterministically, on both kernels.
+        assert ref.propagation.steps == budget - 1
+        _assert_same_partial(ref, fast)
+        # Partial really is partial: fewer steps than the full run.
+        assert ref.propagation.steps < full.propagation.steps
+
+    def test_fake_clock_deadline_interrupts_both_kernels_identically(self):
+        maker, measurements = self._ladder_scenario()
+
+        def make_clock():
+            now = [0.0]
+
+            def clock():
+                now[0] += 0.001  # every check advances one millisecond
+                return now[0]
+
+            return clock
+
+        results = {}
+        for kernel in ("reference", "fast"):
+            ctx = RunContext.with_timeout(0.05, clock=make_clock())
+            result = self._run(maker, measurements, kernel, ctx)
+            assert result.interrupted
+            assert ctx.stop_reason == "deadline"
+            results[kernel] = result
+        _assert_same_partial(results["reference"], results["fast"])
 
 
 class TestIncrementalDifferential:

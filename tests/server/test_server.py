@@ -86,9 +86,9 @@ def gated_engine(workers=1):
     release = threading.Event()
     real_run_job = engine.run_job
 
-    def slow_run_job(job):
+    def slow_run_job(job, ctx=None):
         assert release.wait(timeout=20), "test never released the gate"
-        return real_run_job(job)
+        return real_run_job(job, ctx)
 
     engine.run_job = slow_run_job
     return engine, release
@@ -289,9 +289,10 @@ class TestTimeouts:
         engine = FleetEngine(workers=1, executor="thread")
         real_run_job = engine.run_job
 
-        def slow(job):
+        def slow(job, ctx=None):
+            # Stuck *outside* the cooperative loop: never checks ctx.
             time.sleep(0.5)
-            return real_run_job(job)
+            return real_run_job(job, ctx)
 
         engine.run_job = slow
         config = ServerConfig(port=0, workers=1, queue_size=4, timeout=0.1)
@@ -300,6 +301,164 @@ class TestTimeouts:
                 with pytest.raises(ClientError) as err:
                     client.diagnose(FAULTY_SPEC)
                 assert err.value.status == 504
+
+
+def _ladder_spec(rungs=40, probes=12):
+    """A job spec whose diagnosis takes far longer than a tiny timeout."""
+    from repro.circuit.faults import Fault, FaultKind, apply_fault
+    from repro.circuit.generators import resistor_ladder
+    from repro.circuit.simulate import DCSolver
+    from repro.circuit.spice import write_netlist
+
+    golden = resistor_ladder(rungs)
+    faulty = apply_fault(golden, Fault(FaultKind.OPEN, "Rp3"))
+    op = DCSolver(faulty).solve()
+    nets = [n for n in sorted(op.voltages) if n != "0"][:probes]
+    return {
+        "unit": "slow-ladder",
+        "netlist_text": write_netlist(golden),
+        "probes": {net: op.voltages[net] for net in nets},
+    }
+
+
+class TestDeadlinesAndCancellation:
+    def test_504_carries_partial_interrupted_result(self):
+        spec = _ladder_spec()
+        config = ServerConfig(port=0, workers=1, queue_size=4, timeout=0.05)
+        with RunningServer(config) as rs:
+            with rs.client(retries=0) as client:
+                started = time.perf_counter()
+                with pytest.raises(ClientError) as err:
+                    client.diagnose(spec)
+                elapsed = time.perf_counter() - started
+            interrupted_jobs = rs.server.engine.telemetry.counter("jobs_interrupted")
+        assert err.value.status == 504
+        payload = err.value.payload
+        # The in-band deadline won: a partial, well-formed result — not
+        # the bare error body the event-loop backstop produces.
+        assert payload["status"] == "interrupted"
+        assert "interrupted" in payload["error"]
+        assert payload["diagnosis"]["stats"]["interrupted"] is True
+        assert payload["diagnosis"]["stats"]["quiescent"] is False
+        assert payload["request_id"].startswith("cli-")
+        assert interrupted_jobs == 1
+        # Wound down at the deadline, not after the full diagnosis.
+        assert elapsed < 5.0
+
+    def test_504_cancels_in_flight_worker(self):
+        engine = FleetEngine(workers=1, executor="thread")
+        observed = threading.Event()
+        real_run_job = engine.run_job
+
+        def stuck_until_cancelled(job, ctx=None):
+            # Ignores the deadline — stuck outside the cooperative loop —
+            # so only the event-loop backstop's cancel() releases it.
+            assert ctx is not None
+            while not ctx.cancelled:
+                time.sleep(0.005)
+            observed.set()
+            return real_run_job(job, ctx)
+
+        engine.run_job = stuck_until_cancelled
+        config = ServerConfig(port=0, workers=1, queue_size=4, timeout=0.1)
+        with RunningServer(config, engine=engine) as rs:
+            with rs.client(retries=0) as client:
+                with pytest.raises(ClientError) as err:
+                    client.diagnose(FAULTY_SPEC)
+            assert err.value.status == 504
+            # The worker did not keep burning CPU in the background: the
+            # timeout cancelled its context and it wound down.
+            assert observed.wait(timeout=5), "worker never observed the cancel"
+
+    def test_trace_query_returns_span_tree_joined_to_request_id(self):
+        with RunningServer() as rs:
+            with rs.client() as client:
+                result = client.diagnose(HEALTHY_SPEC, trace=True)
+                plain = client.diagnose(FAULTY_SPEC)
+        assert "trace" not in plain
+        trace = result["trace"]
+        assert trace["trace_id"] == result["request_id"]
+        names = [span["name"] for span in trace["spans"]]
+        assert "diagnose" in names
+        diagnose = trace["spans"][names.index("diagnose")]
+        assert any(c["name"] == "propagate" for c in diagnose["children"])
+
+
+class _FakeResponse:
+    def __init__(self, status, payload):
+        self.status = status
+        self._raw = json.dumps(payload).encode()
+
+    def read(self):
+        return self._raw
+
+    def getheader(self, name, default=None):
+        return default
+
+
+class _FakeConn:
+    """Scripted http.client stand-in: records headers, replays statuses."""
+
+    def __init__(self, statuses, seen):
+        self._statuses = list(statuses)
+        self._seen = seen
+        self._status = None
+
+    def request(self, method, path, body=None, headers=None):
+        self._seen.append(dict(headers or {}))
+        self._status = self._statuses.pop(0)
+
+    def getresponse(self):
+        if self._status == 200:
+            return _FakeResponse(200, {"status": "ok"})
+        return _FakeResponse(self._status, {"error": {"message": "overloaded"}})
+
+    def close(self):
+        pass
+
+
+class TestRequestIds:
+    def _raw_diagnose(self, rs, headers):
+        conn = http.client.HTTPConnection("127.0.0.1", rs.server.port, timeout=10)
+        base = {"Content-Type": "application/json"}
+        base.update(headers)
+        conn.request("POST", "/v1/diagnose", body=json.dumps(HEALTHY_SPEC), headers=base)
+        response = conn.getresponse()
+        payload = json.loads(response.read())
+        header = response.getheader("X-Request-Id")
+        conn.close()
+        return response.status, payload, header
+
+    def test_server_honours_wellformed_client_request_id(self):
+        with RunningServer() as rs:
+            status, payload, header = self._raw_diagnose(
+                rs, {"X-Request-Id": "trace-join-42"}
+            )
+        assert status == 200
+        assert header == "trace-join-42"
+        assert payload["request_id"] == "trace-join-42"
+
+    def test_malformed_request_id_falls_back_to_minted(self):
+        with RunningServer() as rs:
+            status, payload, header = self._raw_diagnose(
+                rs, {"X-Request-Id": "has spaces and\ttabs"}
+            )
+        assert status == 200
+        assert header != "has spaces and\ttabs"
+        # Server-minted shape: <8-hex-prefix>-<6-digit-counter>.
+        prefix, _, counter = header.partition("-")
+        assert len(prefix) == 8 and counter.isdigit()
+        assert payload["request_id"] == header
+
+    def test_client_reuses_one_id_across_retry_attempts(self):
+        seen = []
+        client = DiagnosisClient(port=1, retries=4, backoff=0.001, max_delay=0.002)
+        client._conn = _FakeConn([503, 503, 200], seen)
+        assert client._request("GET", "/x") == {"status": "ok"}
+        ids = [h["X-Request-Id"] for h in seen]
+        assert len(ids) == 3  # two 503s retried, then success
+        assert len(set(ids)) == 1, "retry attempts must share one request id"
+        assert ids[0].startswith("cli-")
 
 
 class TestGracefulDrain:

@@ -132,7 +132,9 @@ class TestBatch:
 
 class TestTimeout:
     def test_hung_job_yields_structured_timeout(self, monkeypatch):
-        def sleepy(job):
+        # A worker hung *outside* the cooperative loop (it never checks
+        # its RunContext) — the pool-side hard backstop must still fire.
+        def sleepy(job, deadline_seconds=None, tracing=False, ctx=None):
             time.sleep(5.0)
             return {"status": "ok", "diagnosis": {}, "elapsed": 5.0}
 
