@@ -82,15 +82,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parse_probe(spec: str, imprecision: float) -> Measurement:
+def _parse_probe_tuple(spec: str, imprecision: float):
     net, _, raw = spec.partition("=")
     if not raw:
         raise SystemExit(f"--probe expects NET=VOLTS, got {spec!r}")
     try:
-        value = FuzzyInterval.number(float(raw), imprecision)
+        value = float(raw)
     except ValueError as exc:
         raise SystemExit(f"bad probe {spec!r}: {exc}")
-    return Measurement(f"V({net})", value)
+    return (f"V({net})", value, value, imprecision, imprecision)
+
+
+def _parse_probe(spec: str, imprecision: float) -> Measurement:
+    point, m1, m2, alpha, beta = _parse_probe_tuple(spec, imprecision)
+    try:
+        value = FuzzyInterval(m1, m2, alpha, beta)
+    except ValueError as exc:
+        raise SystemExit(f"bad probe {spec!r}: {exc}")
+    return Measurement(point, value)
 
 
 def _cmd_diagnose(args: argparse.Namespace) -> int:
@@ -99,7 +108,25 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
 
     circuit = _load_circuit(args.netlist)
     engine = Flames(circuit, FlamesConfig(kernel=args.kernel))
-    measurements = [_parse_probe(p, args.imprecision) for p in args.probe]
+    sanitize_report = None
+    if args.sanitize == "repair":
+        # Sanitise the raw tuples *before* interval construction so
+        # non-finite probes are repaired rather than rejected at parse.
+        from repro.resilience import sanitize_tuples
+
+        raw = [_parse_probe_tuple(p, args.imprecision) for p in args.probe]
+        tuples, sanitize_report = sanitize_tuples(raw)
+        measurements = [
+            Measurement(point, FuzzyInterval(m1, m2, alpha, beta))
+            for point, m1, m2, alpha, beta in tuples
+        ]
+        if not measurements:
+            print("sanitizer dropped every probe: "
+                  + "; ".join(a.reason for a in sanitize_report.actions),
+                  file=sys.stderr)
+            return 2
+    else:
+        measurements = [_parse_probe(p, args.imprecision) for p in args.probe]
     ctx = None
     if args.deadline is not None or args.trace:
         if args.deadline is not None and args.deadline <= 0:
@@ -116,11 +143,17 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
 
         payload = diagnosis_to_dict(result, refinements)
         payload["circuit"] = circuit.name
+        if sanitize_report is not None and sanitize_report.degraded:
+            payload["degraded"] = sanitize_report.to_dict()
         if result.trace:
             payload["trace"] = result.trace
         print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(render_report(result, refinements, title=f"diagnosis of {circuit.name}"))
+        if sanitize_report is not None and sanitize_report.degraded:
+            print("\nDEGRADED MODE: some probes were repaired on entry")
+            for action in sanitize_report.actions:
+                print(f"  {action.point}: {action.action} ({action.reason})")
         if result.interrupted:
             reason = (ctx.stop_reason or "stopped") if ctx else "stopped"
             print(f"\n(partial result: run interrupted — {reason})")
@@ -131,6 +164,7 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.resilience import FaultPlan, FleetSupervisor
     from repro.service import FleetEngine, ManifestError, load_manifest
 
     try:
@@ -139,6 +173,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"bad manifest: {exc}", file=sys.stderr)
         return 2
     try:
+        fault_plan = FaultPlan.from_json(args.faults) if args.faults else None
         engine = FleetEngine(
             workers=args.workers,
             executor=args.executor,
@@ -146,6 +181,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             retries=args.retries,
             cache_size=args.cache_size,
             tracing=args.trace,
+            supervisor=FleetSupervisor() if args.supervise else None,
+            fault_plan=fault_plan,
+            verify_kernel=args.verify_kernel,
         )
     except ValueError as exc:
         print(f"bad engine options: {exc}", file=sys.stderr)
@@ -199,6 +237,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "--timeout", str(args.timeout),
         "--retries", str(args.retries),
     ]
+    if args.supervise:
+        forwarded.append("--supervise")
+    if args.faults:
+        forwarded.extend(["--faults", args.faults])
+    if args.verify_kernel:
+        forwarded.append("--verify-kernel")
     return serve_main(forwarded)
 
 
@@ -277,6 +321,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect per-stage spans and print the trace tree (embedded "
         "under 'trace' with --json)",
     )
+    diagnose.add_argument(
+        "--sanitize",
+        choices=["strict", "repair"],
+        default="strict",
+        help="measurement policy: strict rejects malformed probes (default); "
+        "repair drops/widens them and the diagnosis runs degraded (see "
+        "README 'Resilience')",
+    )
     diagnose.set_defaults(func=_cmd_diagnose)
 
     batch = sub.add_parser(
@@ -318,6 +370,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the full batch report as JSON (results + telemetry)",
     )
+    batch.add_argument(
+        "--supervise",
+        action="store_true",
+        help="engage the fleet supervisor: poison-job quarantine, worker "
+        "health eviction and the kernel circuit breaker (see README "
+        "'Resilience')",
+    )
+    batch.add_argument(
+        "--faults",
+        default="",
+        help="JSON fault plan armed across the engine and its workers "
+        "(deterministic chaos testing; see README 'Resilience')",
+    )
+    batch.add_argument(
+        "--verify-kernel",
+        action="store_true",
+        help="differentially check every fast-kernel run against the "
+        "reference engine (expensive; chaos/soak runs only)",
+    )
     batch.set_defaults(func=_cmd_batch)
 
     serve = sub.add_parser(
@@ -344,6 +415,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--retries", type=int, default=1,
         help="extra attempts for crashed jobs (default 1)",
+    )
+    serve.add_argument(
+        "--supervise", action="store_true",
+        help="engage the fleet supervisor (quarantine, health, breaker)",
+    )
+    serve.add_argument(
+        "--faults", default="",
+        help="JSON fault plan armed server-wide (chaos testing only)",
+    )
+    serve.add_argument(
+        "--verify-kernel", action="store_true",
+        help="differentially check every fast-kernel run (chaos/soak only)",
     )
     serve.set_defaults(func=_cmd_serve)
 

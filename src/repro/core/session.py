@@ -48,6 +48,12 @@ class TroubleshootingSession:
         kernel: shorthand for ``config.kernel`` — ``"reference"`` or
             ``"fast"`` (see README "Kernel"); overrides the config's
             kernel when given.
+        sanitize: measurement policy at the observation boundary —
+            ``"strict"`` (the default: observations enter verbatim,
+            byte-identical to the pre-resilience session) or ``"repair"``
+            (the resilience sanitizer drops absurd readings and widens
+            out-of-range ones; the session runs *degraded* and
+            :meth:`report` says so — see README "Resilience").
     """
 
     def __init__(
@@ -58,13 +64,22 @@ class TroubleshootingSession:
         knowledge: Optional[KnowledgeBase] = None,
         planner: Optional[BestTestPlanner] = None,
         kernel: Optional[str] = None,
+        sanitize: str = "strict",
     ) -> None:
+        from repro.resilience.sanitize import POLICIES, SanitizeReport
+
         if kernel is not None:
             config = replace(config if config is not None else FlamesConfig(), kernel=kernel)
+        if sanitize not in POLICIES:
+            raise ValueError(
+                f"unknown sanitize policy {sanitize!r}; choices: {', '.join(POLICIES)}"
+            )
         self.engine = Flames(circuit, config)
         self.experience = experience if experience is not None else ExperienceBase()
         self.knowledge = knowledge if knowledge is not None else KnowledgeBase(circuit)
         self.planner = planner if planner is not None else BestTestPlanner(self.engine)
+        self.sanitize = sanitize
+        self.sanitize_report = SanitizeReport()
         self.measurements: List[Measurement] = []
         self._result: Optional[DiagnosisResult] = None
 
@@ -74,9 +89,27 @@ class TroubleshootingSession:
     def observe(
         self, *measurements: Measurement, ctx: Optional["RunContext"] = None
     ) -> DiagnosisResult:
-        """Add measurements and re-diagnose (bounded by ``ctx`` if given)."""
+        """Add measurements and re-diagnose (bounded by ``ctx`` if given).
+
+        Under the ``"repair"`` sanitize policy, malformed observations
+        are dropped/widened at this boundary instead of poisoning the
+        constraint network; the actions accumulate in
+        :attr:`sanitize_report` and the session is :attr:`degraded`.
+        Raises ``ValueError`` when sanitisation leaves nothing to add.
+        """
         if not measurements:
             raise ValueError("observe() needs at least one measurement")
+        if self.sanitize == "repair":
+            from repro.resilience.sanitize import sanitize_measurements
+
+            survivors, report = sanitize_measurements(measurements)
+            self.sanitize_report.actions.extend(report.actions)
+            if not survivors:
+                raise ValueError(
+                    "sanitizer dropped every observation: "
+                    + "; ".join(a.reason for a in report.actions)
+                )
+            measurements = tuple(survivors)
         for m in measurements:
             self.measurements = [x for x in self.measurements if x.point != m.point]
             self.measurements.append(m)
@@ -107,6 +140,11 @@ class TroubleshootingSession:
     def kernel(self) -> str:
         """Which kernel this session's engine runs on."""
         return self.engine.config.kernel
+
+    @property
+    def degraded(self) -> bool:
+        """True when the sanitizer had to repair this unit's observations."""
+        return self.sanitize_report.degraded
 
     @property
     def unit_looks_healthy(self) -> bool:
@@ -160,9 +198,18 @@ class TroubleshootingSession:
 
     def report(self, title: str = "FLAMES troubleshooting session") -> str:
         refinements = self.refinements() if not self.result.is_consistent else None
-        return render_report(self.result, refinements, title=title)
+        text = render_report(self.result, refinements, title=title)
+        if self.degraded:
+            lines = ["", "DEGRADED MODE: some observations were repaired on entry"]
+            for action in self.sanitize_report.actions:
+                lines.append(f"  {action.point}: {action.action} ({action.reason})")
+            text += "\n".join(lines)
+        return text
 
     def next_unit(self) -> None:
         """Start on a fresh unit under test (experience is kept)."""
+        from repro.resilience.sanitize import SanitizeReport
+
         self.measurements = []
         self._result = None
+        self.sanitize_report = SanitizeReport()

@@ -47,6 +47,10 @@ def _interval_div(a: Tuple[float, float], b: Tuple[float, float]) -> Tuple[float
     if b[0] <= 0.0 <= b[1]:
         raise ZeroDivisionError("fuzzy division by an interval containing zero")
     quotients = (a[0] / b[0], a[0] / b[1], a[1] / b[0], a[1] / b[1])
+    if not all(math.isfinite(q) for q in quotients):
+        # A denormal-small divisor overflows the quotient; treat it the
+        # same as dividing by zero so results stay finite intervals.
+        raise ZeroDivisionError("fuzzy division by an interval touching zero")
     return min(quotients), max(quotients)
 
 
@@ -64,8 +68,10 @@ class FuzzyInterval:
     beta: float = 0.0
 
     def __post_init__(self) -> None:
-        if math.isnan(self.m1) or math.isnan(self.m2):
-            raise ValueError("fuzzy interval core must not be NaN")
+        if not (math.isfinite(self.m1) and math.isfinite(self.m2)):
+            raise ValueError("fuzzy interval core must be finite")
+        if not (math.isfinite(self.alpha) and math.isfinite(self.beta)):
+            raise ValueError("fuzzy interval slope widths must be finite")
         if self.m1 > self.m2 + _EPS:
             raise ValueError(f"inverted core [{self.m1}, {self.m2}]")
         if self.alpha < -_EPS or self.beta < -_EPS:

@@ -1,0 +1,53 @@
+"""The resilience plane: fault injection, supervision, degraded inputs.
+
+Three cooperating pieces (see README "Resilience"):
+
+* :mod:`repro.resilience.faults` — a seeded, deterministic
+  :class:`FaultPlan` with named injection points threaded through the
+  worker pool, result cache, kernel dispatch and server I/O, so chaos
+  tests exercise real failure paths reproducibly;
+* :mod:`repro.resilience.supervisor` — :class:`FleetSupervisor`:
+  poison-job quarantine, worker health scoring with pool eviction, and
+  the :class:`CircuitBreaker` that trips the fast kernel back to the
+  reference engine on exception or differential mismatch;
+* :mod:`repro.resilience.sanitize` — the measurement sanitizer that
+  drops or widens non-finite / out-of-range observations and lets a
+  degraded-mode diagnosis run, flagged in the report — the paper's
+  partial-conflict semantics applied to the system's own inputs.
+"""
+
+from repro.resilience.faults import (
+    POINTS,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+    active_plan,
+    install_plan,
+    uninstall_plan,
+)
+from repro.resilience.sanitize import (
+    POLICIES,
+    SanitizeAction,
+    SanitizeReport,
+    sanitize_measurements,
+    sanitize_tuples,
+)
+from repro.resilience.supervisor import CircuitBreaker, FleetSupervisor, worker_breaker
+
+__all__ = [
+    "POINTS",
+    "POLICIES",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedFault",
+    "CircuitBreaker",
+    "FleetSupervisor",
+    "SanitizeAction",
+    "SanitizeReport",
+    "active_plan",
+    "install_plan",
+    "uninstall_plan",
+    "sanitize_measurements",
+    "sanitize_tuples",
+    "worker_breaker",
+]

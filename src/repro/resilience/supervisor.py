@@ -1,0 +1,267 @@
+"""Self-healing supervision for the fleet engine.
+
+The paper's engine ran one diagnosis at a time and could simply crash;
+a fleet serving heavy traffic needs the failure-handling policy FLAMES
+applies to *measurements* — tolerate partial conflict, keep producing
+ranked answers — applied to its own *infrastructure*.  Three mechanisms,
+all deterministic (counted in events, never in wall-clock time):
+
+* **poison-job quarantine** — a job whose content keeps failing is
+  eventually the job's fault, not the fleet's.  After
+  ``quarantine_after`` recorded failures for one content hash the job is
+  quarantined: it returns a structured ``quarantined``
+  :class:`~repro.service.jobs.JobResult` immediately and never re-enters
+  the retry loop (or the pool at all);
+* **worker health scoring** — an exponentially-weighted success score
+  per pool; sustained crashes/hangs drive the score below
+  ``health_floor`` and the engine proactively evicts and restarts the
+  pool (the ``concurrent.futures`` granularity of "restart the sick
+  worker");
+* **kernel circuit breaker** — the fast kernel must never be a
+  liability: an exception (or a differential mismatch, when kernel
+  verification is on) counts against the breaker, and once it trips the
+  engine routes every diagnosis through the reference kernel until
+  ``probe_after`` successful reference runs allow a half-open probe.
+  Every trip is recorded in telemetry.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.service.telemetry import Telemetry
+
+__all__ = ["CircuitBreaker", "FleetSupervisor", "worker_breaker"]
+
+#: Process-local breaker adopted by pool *worker processes*, where the
+#: engine's supervisor (and its locks) cannot cross the pickle boundary.
+_worker_breaker: Optional["CircuitBreaker"] = None
+_worker_breaker_lock = threading.Lock()
+
+
+def worker_breaker() -> "CircuitBreaker":
+    """The process-local kernel breaker (created on first use)."""
+    global _worker_breaker
+    if _worker_breaker is None:
+        with _worker_breaker_lock:
+            if _worker_breaker is None:
+                _worker_breaker = CircuitBreaker()
+    return _worker_breaker
+
+
+class CircuitBreaker:
+    """A deterministic closed → open → half-open breaker.
+
+    States:
+
+    * **closed** — the protected path (the fast kernel) is used;
+      failures accumulate, ``threshold`` consecutive-window failures
+      trip the breaker;
+    * **open** — the protected path is bypassed; after ``probe_after``
+      :meth:`record_bypass` calls the breaker half-opens;
+    * **half-open** — one probe is allowed through; success closes the
+      breaker, failure re-opens it.
+
+    All transitions are counted in events — no clocks — so chaos tests
+    replay identically.
+    """
+
+    def __init__(self, threshold: int = 3, probe_after: int = 50) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        if probe_after < 1:
+            raise ValueError("probe_after must be >= 1")
+        self.threshold = threshold
+        self.probe_after = probe_after
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._bypasses = 0
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May the protected path be used for the next call?"""
+        with self._lock:
+            if self._state == "closed":
+                return True
+            if self._state == "half-open":
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == "half-open":
+                self._state = "closed"
+            self._failures = 0
+
+    def record_failure(self) -> bool:
+        """Count a failure; returns True when this call *trips* the breaker."""
+        with self._lock:
+            if self._state == "half-open":
+                self._state = "open"
+                self._bypasses = 0
+                self.trips += 1
+                return True
+            self._failures += 1
+            if self._state == "closed" and self._failures >= self.threshold:
+                self._state = "open"
+                self._bypasses = 0
+                self.trips += 1
+                return True
+            return False
+
+    def record_bypass(self) -> None:
+        """Count one bypassed call; half-opens after ``probe_after`` of them."""
+        with self._lock:
+            if self._state != "open":
+                return
+            self._bypasses += 1
+            if self._bypasses >= self.probe_after:
+                self._state = "half-open"
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "failures": self._failures,
+                "trips": self.trips,
+            }
+
+
+class FleetSupervisor:
+    """Health scoring, quarantine and the kernel breaker for one engine.
+
+    Thread-safe; one instance is shared by every execution path of a
+    :class:`~repro.service.pool.FleetEngine` (serial, thread pool, the
+    server's ``run_job``).  Process-pool workers keep their own
+    process-local breaker (state cannot cross the pickle boundary), but
+    quarantine and health are scored engine-side from the results coming
+    back, so they cover every executor kind.
+    """
+
+    def __init__(
+        self,
+        quarantine_after: int = 3,
+        breaker_threshold: int = 3,
+        breaker_probe_after: int = 50,
+        health_floor: float = 0.3,
+        health_decay: float = 0.7,
+        telemetry: Optional["Telemetry"] = None,
+    ) -> None:
+        if quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1")
+        if not 0.0 < health_decay < 1.0:
+            raise ValueError("health_decay must be in (0, 1)")
+        if not 0.0 <= health_floor < 1.0:
+            raise ValueError("health_floor must be in [0, 1)")
+        self.quarantine_after = quarantine_after
+        self.health_floor = health_floor
+        self.health_decay = health_decay
+        self.telemetry = telemetry
+        self.breaker = CircuitBreaker(breaker_threshold, breaker_probe_after)
+        self._lock = threading.Lock()
+        self._failures: Dict[str, int] = {}
+        self._quarantined: Dict[str, str] = {}  # content hash -> first error
+        self._health = 1.0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    # Poison-job quarantine
+    # ------------------------------------------------------------------
+    def is_quarantined(self, key: str) -> bool:
+        with self._lock:
+            return key in self._quarantined
+
+    def quarantine_reason(self, key: str) -> str:
+        with self._lock:
+            error = self._quarantined.get(key, "")
+        detail = f": {error}" if error else ""
+        return (
+            f"quarantined after {self.quarantine_after} failures{detail}"
+        )
+
+    def record_failure(self, key: str, error: str = "") -> bool:
+        """Count one failed attempt for ``key``; True once quarantined.
+
+        The count is cumulative across batches — a job that crashes its
+        retry budget in one batch and shows up again in the next is
+        exactly the poison this mechanism exists for.
+        """
+        with self._lock:
+            if key in self._quarantined:
+                return True
+            count = self._failures.get(key, 0) + 1
+            self._failures[key] = count
+            if count < self.quarantine_after:
+                return False
+            self._quarantined[key] = error.splitlines()[0] if error else ""
+        if self.telemetry is not None:
+            self.telemetry.incr("jobs_quarantined_total")
+            self.telemetry.event("job_quarantined", hash=key[:12])
+        return True
+
+    def record_job_success(self, key: str) -> None:
+        """A success clears the failure streak (transient blips forgiven)."""
+        with self._lock:
+            self._failures.pop(key, None)
+
+    def failure_count(self, key: str) -> int:
+        with self._lock:
+            return self._failures.get(key, 0)
+
+    def quarantined_keys(self) -> Dict[str, str]:
+        with self._lock:
+            return dict(self._quarantined)
+
+    # ------------------------------------------------------------------
+    # Worker health
+    # ------------------------------------------------------------------
+    @property
+    def health(self) -> float:
+        with self._lock:
+            return self._health
+
+    def record_worker_outcome(self, ok: bool) -> None:
+        """Fold one worker outcome into the EWMA health score.
+
+        ``ok`` means the worker *functioned* — it returned any structured
+        result, including a faulty diagnosis.  Crashes, hangs and broken
+        pools count against health.
+        """
+        with self._lock:
+            self._health = (
+                self.health_decay * self._health
+                + (1.0 - self.health_decay) * (1.0 if ok else 0.0)
+            )
+
+    def should_evict(self) -> bool:
+        """True when the pool's health warrants an eviction + restart."""
+        with self._lock:
+            return self._health < self.health_floor
+
+    def record_eviction(self) -> None:
+        """The engine restarted the pool; reset the score optimistically."""
+        with self._lock:
+            self._health = 1.0
+            self.evictions += 1
+        if self.telemetry is not None:
+            self.telemetry.incr("worker_evictions")
+            self.telemetry.event("worker_evicted")
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            quarantined = len(self._quarantined)
+            health = self._health
+        return {
+            "health": round(health, 4),
+            "evictions": self.evictions,
+            "quarantined": quarantined,
+            "breaker": self.breaker.snapshot(),
+        }

@@ -127,6 +127,14 @@ class DiagnosisPipeline:
                     propagator.set_value(m.point, m.value)
 
             with ctx.span("propagate") as span:
+                if config.kernel == "fast":
+                    # Chaos hook: the resilience plane's kernel.exception
+                    # point fires here, where a real fast-kernel edge case
+                    # would surface — the fleet's circuit breaker catches
+                    # it and re-runs on the reference engine.
+                    from repro.resilience import faults
+
+                    faults.maybe_raise("kernel.exception")
                 outcome = propagator.run(ctx=ctx)
                 if span is not None:
                     span.meta["steps"] = outcome.steps

@@ -57,6 +57,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.resilience import FaultPlan, FleetSupervisor, faults
 from repro.runtime.context import RunContext
 from repro.server.http import (
     HttpError,
@@ -89,6 +90,9 @@ class ServerConfig:
     timeout: float = 30.0  # per-request budget, seconds
     retries: int = 1
     drain_grace: float = 30.0  # seconds to wait for in-flight work on shutdown
+    supervise: bool = False  # engage the FleetSupervisor (quarantine + breaker)
+    faults: str = ""  # JSON FaultPlan armed server-wide (chaos testing only)
+    verify_kernel: bool = False  # differential-check every fast-kernel run
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -97,6 +101,8 @@ class ServerConfig:
             raise ValueError("queue size must be non-negative")
         if self.timeout <= 0:
             raise ValueError("timeout must be positive")
+        if self.faults:
+            FaultPlan.from_json(self.faults)  # fail fast on a bad plan
 
 
 class DiagnosisServer:
@@ -109,6 +115,9 @@ class DiagnosisServer:
             executor="thread",
             retries=config.retries,
             cache_size=config.cache_size,
+            supervisor=FleetSupervisor() if config.supervise else None,
+            fault_plan=FaultPlan.from_json(config.faults) if config.faults else None,
+            verify_kernel=config.verify_kernel,
         )
         self.telemetry = self.engine.telemetry
         self.admission = AdmissionQueue(config.workers, config.queue_size)
@@ -125,6 +134,7 @@ class DiagnosisServer:
         self._started = time.monotonic()
         self._mean_job_seconds = 0.1  # EWMA; seeds the Retry-After estimate
         self._request_ids = itertools.count(1)
+        self._io_seq = itertools.count(1)  # deterministic server.io chaos key
         self._id_prefix = uuid.uuid4().hex[:8]
         self.port: Optional[int] = None
 
@@ -258,6 +268,15 @@ class DiagnosisServer:
         extra = {"X-Request-Id": request_id}
         keep_alive = request.keep_alive and not self._draining
         try:
+            # Chaos hook: an injected dispatch failure must surface as a
+            # structured 500 (the generic handler below) with the
+            # connection intact — exactly like a real handler bug.  Keyed
+            # on an arrival counter, so a sequential chaos client sees the
+            # same requests fail on every run.
+            faults.maybe_raise(
+                "server.io",
+                f"{request.method} {request.path}#{next(self._io_seq)}",
+            )
             status, payload, headers = await self._route(request, request_id)
             extra.update(headers)
         except QueueFullError as exc:
@@ -348,6 +367,11 @@ class DiagnosisServer:
             },
             "queue": self.admission.depth(),
             "cache": self.engine.cache.snapshot(),
+            "supervisor": (
+                self.engine.supervisor.snapshot()
+                if self.engine.supervisor is not None
+                else None
+            ),
             "experience_rules": len(self.engine.experience),
             "telemetry": self.telemetry.snapshot(),
         }
@@ -478,6 +502,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--retries", type=int, default=1,
         help="extra attempts for crashed jobs (default 1)",
     )
+    parser.add_argument(
+        "--supervise", action="store_true",
+        help="engage the fleet supervisor (poison-job quarantine, worker "
+        "health eviction, kernel circuit breaker)",
+    )
+    parser.add_argument(
+        "--faults", default="",
+        help="JSON fault plan armed server-wide (chaos testing only); "
+        'e.g. \'{"seed": 0, "rules": [{"point": "server.io", "rate": 0.2}]}\'',
+    )
+    parser.add_argument(
+        "--verify-kernel", action="store_true",
+        help="differentially check every fast-kernel run against the "
+        "reference engine (expensive; chaos/soak runs only)",
+    )
     return parser
 
 
@@ -493,6 +532,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache_size=args.cache_size,
             timeout=args.timeout,
             retries=args.retries,
+            supervise=args.supervise,
+            faults=args.faults,
+            verify_kernel=args.verify_kernel,
         )
     except ValueError as exc:
         print(f"bad server options: {exc}", flush=True)

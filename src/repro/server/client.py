@@ -8,8 +8,13 @@ and transparently re-opened after a drop.
 
 Retry policy: ``503 Service Unavailable`` (load shed) and transport
 errors (connection refused/reset, timeouts) are retried with
-exponential backoff, honouring the server's ``Retry-After`` hint up to
-``max_delay``.  Any other non-2xx answer raises immediately —
+exponential backoff under **full jitter** — each wait is drawn
+uniformly from ``[0, backoff * 2**n]`` so retry storms from many
+clients decorrelate instead of hammering the server in lockstep — while
+still honouring the server's ``Retry-After`` hint (as a floor) up to
+``max_delay``.  The jitter source is an injectable ``random.Random``,
+so tests pin a seed and the schedule is deterministic.  Any other
+non-2xx answer raises immediately —
 :class:`ClientError` carries the status and the server's JSON error
 body, so a 400 tells you exactly which field was malformed.
 
@@ -23,6 +28,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
 import time
 import uuid
@@ -63,9 +69,12 @@ class DiagnosisClient:
         host/port: where the server listens.
         timeout: socket timeout per attempt, seconds.
         retries: extra attempts after the first (0 = fail fast).
-        backoff: base delay, seconds; attempt *n* waits ``backoff * 2**n``.
+        backoff: base delay, seconds; attempt *n* waits a uniform draw
+            from ``[0, backoff * 2**n]`` (full jitter).
         max_delay: ceiling for any single wait, including ``Retry-After``
             hints (keeps tests and interactive callers snappy).
+        rng: jitter source; pass a seeded ``random.Random`` for a
+            deterministic retry schedule (tests, replayable chaos runs).
     """
 
     def __init__(
@@ -76,6 +85,7 @@ class DiagnosisClient:
         retries: int = 4,
         backoff: float = 0.1,
         max_delay: float = 2.0,
+        rng: Optional[random.Random] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -83,6 +93,7 @@ class DiagnosisClient:
         self.retries = max(0, int(retries))
         self.backoff = backoff
         self.max_delay = max_delay
+        self.rng = rng if rng is not None else random.Random()
         self._conn: Optional[http.client.HTTPConnection] = None
         self.attempts_made = 0  # lifetime request attempts (visible to tests)
 
@@ -164,9 +175,14 @@ class DiagnosisClient:
         )
 
     def _delay(self, completed_attempts: int, last_error: Optional[Exception]) -> float:
-        delay = self.backoff * (2 ** completed_attempts)
+        # Full jitter: draw uniformly from [0, backoff * 2**n].  A fleet
+        # of clients retrying the same overloaded server spreads out
+        # instead of arriving in synchronised waves.
+        ceiling = min(self.backoff * (2 ** completed_attempts), self.max_delay)
+        delay = self.rng.uniform(0.0, ceiling)
         hint = getattr(last_error, "retry_after", None)
         if hint is not None:
+            # The server's Retry-After is a floor, not a suggestion.
             try:
                 delay = max(delay, float(hint))
             except ValueError:

@@ -1,4 +1,4 @@
-"""Content-addressed LRU result cache.
+"""Content-addressed LRU result cache with entry integrity checking.
 
 Repair-shop fleets repeat themselves: the same golden design with the
 same symptom shows up over and over.  Keyed on
@@ -6,7 +6,7 @@ same symptom shows up over and over.  Keyed on
 repeated unit skip the whole fuzzy-propagation pass and replay the
 stored :class:`~repro.service.jobs.JobResult`.
 
-Only *successful* results are worth keeping (errors are cheap to
+Only *completed* results are worth keeping (errors are cheap to
 reproduce and usually transient); the :class:`FleetEngine` enforces
 that policy, the cache itself is policy-free.  Every operation —
 including ``len``, membership tests and ``snapshot`` — takes the
@@ -14,17 +14,34 @@ internal lock, so one instance can be shared freely between the
 diagnosis server's asyncio event loop and its executor threads;
 ``get``/``put`` maintain hit/miss/eviction counters that feed the
 service telemetry.
+
+**Integrity:** each entry stores a canonical JSON serialisation of the
+result alongside its sha256 digest, and every ``get`` re-verifies the
+digest before replaying.  A corrupted entry — bit rot in a future
+persistent backend, a buggy writer, or the chaos plane's
+``cache.corrupt`` injection — is purged and counted as a miss (the
+``corruptions`` counter records it); a poisoned result is *never*
+served and a corrupt hit *never* raises.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
+from repro.resilience import faults
 from repro.service.jobs import JobResult
 
 __all__ = ["ResultCache"]
+
+
+def _seal(result: JobResult) -> Tuple[str, str]:
+    """Canonical blob + sha256 digest for one stored result."""
+    blob = json.dumps(result.to_dict(), sort_keys=True, separators=(",", ":"))
+    return blob, hashlib.sha256(blob.encode()).hexdigest()
 
 
 class ResultCache:
@@ -34,11 +51,14 @@ class ResultCache:
         if capacity < 0:
             raise ValueError("cache capacity must be non-negative")
         self.capacity = capacity
-        self._entries: "OrderedDict[str, JobResult]" = OrderedDict()
+        # key -> [result, blob, digest]; the blob/digest pair is the
+        # integrity seal verified on every get.
+        self._entries: "OrderedDict[str, list]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.corruptions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -50,26 +70,56 @@ class ResultCache:
             return key in self._entries
 
     def get(self, key: str) -> Optional[JobResult]:
-        """Look up a result, counting the hit/miss and refreshing recency."""
+        """Look up a result, counting the hit/miss and refreshing recency.
+
+        The entry's integrity seal is verified first; a corrupt entry is
+        purged and counted as a miss (plus ``corruptions``) — corruption
+        degrades the hit rate, it never crashes a batch or serves a
+        poisoned result.
+        """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
                 return None
+            result, blob, digest = entry
+            if faults.maybe_fire("cache.corrupt", key) is not None:
+                # Deterministic chaos: flip the stored blob so the
+                # integrity check below sees real corruption.
+                blob = entry[1] = blob[:-1] + ("x" if blob[-1:] != "x" else "y")
+            if hashlib.sha256(blob.encode()).hexdigest() != digest:
+                del self._entries[key]
+                self.corruptions += 1
+                self.misses += 1
+                return None
             self._entries.move_to_end(key)
             self.hits += 1
-            return entry
+            return result
 
     def put(self, key: str, result: JobResult) -> None:
         """Store a result, evicting the least-recently-used overflow."""
         if self.capacity == 0:
             return
+        blob, digest = _seal(result)
         with self._lock:
-            self._entries[key] = result
+            self._entries[key] = [result, blob, digest]
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+
+    def tamper(self, key: str) -> bool:
+        """Corrupt ``key``'s stored blob in place (test/chaos hook).
+
+        Returns True when the entry existed.  The next ``get`` for the
+        key will detect the bad seal, purge the entry and count a miss.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            entry[1] = entry[1][:-1] + ("x" if entry[1][-1:] != "x" else "y")
+            return True
 
     def clear(self) -> None:
         """Drop all entries (the counters keep their history)."""
@@ -92,5 +142,6 @@ class ResultCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "corruptions": self.corruptions,
                 "hit_rate": round(self.hits / total, 4) if total else 0.0,
             }

@@ -79,19 +79,59 @@ class ManifestError(ValueError):
     """A batch manifest (or one of its job specs) is malformed."""
 
 
+def _resolve_sanitize(policy: str) -> str:
+    from repro.resilience.sanitize import POLICIES
+
+    policy = str(policy or "strict")
+    if policy not in POLICIES:
+        raise ManifestError(
+            f"unknown sanitize policy {policy!r}; choices: {', '.join(POLICIES)}"
+        )
+    return policy
+
+
+def _config_overrides(
+    config: Optional[Dict[str, float]],
+) -> Tuple[Tuple[str, Union[float, str]], ...]:
+    """Validate config overrides into the job's sorted-tuple form."""
+    overrides: Dict[str, Union[float, str]] = {}
+    for key, value in (config or {}).items():
+        if key not in CONFIG_FIELDS:
+            raise ManifestError(
+                f"unknown config field {key!r}; choices: {', '.join(CONFIG_FIELDS)}"
+            )
+        if key in _STRING_FIELDS:
+            try:
+                overrides[key] = resolve_kernel(str(value))
+            except ValueError as exc:
+                raise ManifestError(str(exc)) from None
+        else:
+            try:
+                overrides[key] = float(value)
+            except (TypeError, ValueError) as exc:
+                raise ManifestError(f"bad config value for {key!r}: {exc}") from None
+    return tuple(sorted(overrides.items()))
+
+
 def measurement_to_dict(m: Measurement) -> Dict:
     """JSON shape of one measurement: ``{"point": ..., "value": [m1, m2, alpha, beta]}``."""
     return {"point": m.point, "value": [m.value.m1, m.value.m2, m.value.alpha, m.value.beta]}
 
 
 def measurement_from_dict(data: Dict) -> Measurement:
-    """Inverse of :func:`measurement_to_dict`."""
+    """Inverse of :func:`measurement_to_dict`.
+
+    Interval validation failures (non-finite numbers, inverted cores,
+    negative slopes) surface as :class:`ManifestError` so the server can
+    answer a structured 400 instead of a 500.
+    """
     try:
         point = str(data["point"])
         m1, m2, alpha, beta = (float(x) for x in data["value"])
+        value = FuzzyInterval(m1, m2, alpha, beta)
     except (KeyError, TypeError, ValueError) as exc:
         raise ManifestError(f"bad measurement spec {data!r}: {exc}") from None
-    return Measurement(point, FuzzyInterval(m1, m2, alpha, beta))
+    return Measurement(point, value)
 
 
 @dataclass(frozen=True)
@@ -107,6 +147,12 @@ class DiagnosisJob:
         confirm: optional ``(component, mode)`` the expert has verified
             on this unit — feeds the shared experience base after the
             batch (not part of the hash either).
+        sanitize: measurement policy — ``"strict"`` (malformed readings
+            are an error; the default and the pre-resilience behaviour)
+            or ``"repair"`` (the resilience sanitizer drops/widens bad
+            readings and the diagnosis runs degraded, flagged in the
+            result).  Hashed only when not strict, so existing cache
+            keys are unchanged.
     """
 
     unit: str
@@ -114,6 +160,7 @@ class DiagnosisJob:
     measurements: Tuple[MeasurementTuple, ...]
     config: Tuple[Tuple[str, Union[float, str]], ...] = ()
     confirm: Optional[Tuple[str, str]] = None
+    sanitize: str = "strict"
 
     # ------------------------------------------------------------------
     # Construction
@@ -126,22 +173,10 @@ class DiagnosisJob:
         measurements: Sequence[Measurement],
         config: Optional[Dict[str, float]] = None,
         confirm: Optional[Tuple[str, str]] = None,
+        sanitize: str = "strict",
     ) -> "DiagnosisJob":
         """Build a job from rich objects (circuit and measurements)."""
         text = write_netlist(circuit) if isinstance(circuit, Circuit) else str(circuit)
-        overrides = {}
-        for key, value in (config or {}).items():
-            if key not in CONFIG_FIELDS:
-                raise ManifestError(
-                    f"unknown config field {key!r}; choices: {', '.join(CONFIG_FIELDS)}"
-                )
-            if key in _STRING_FIELDS:
-                try:
-                    overrides[key] = resolve_kernel(str(value))
-                except ValueError as exc:
-                    raise ManifestError(str(exc)) from None
-            else:
-                overrides[key] = float(value)
         return cls(
             unit=unit,
             netlist_text=text,
@@ -149,8 +184,9 @@ class DiagnosisJob:
                 (m.point, m.value.m1, m.value.m2, m.value.alpha, m.value.beta)
                 for m in measurements
             ),
-            config=tuple(sorted(overrides.items())),
+            config=_config_overrides(config),
             confirm=tuple(confirm) if confirm else None,  # type: ignore[arg-type]
+            sanitize=_resolve_sanitize(sanitize),
         )
 
     # ------------------------------------------------------------------
@@ -189,14 +225,15 @@ class DiagnosisJob:
             circuit_key = self.circuit().fingerprint()
         except Exception:
             circuit_key = "rawtext:" + hashlib.sha256(self.netlist_text.encode()).hexdigest()
-        payload = json.dumps(
-            {
-                "circuit": circuit_key,
-                "measurements": sorted(self.measurements),
-                "config": list(self.config),
-            },
-            sort_keys=True,
-        )
+        body = {
+            "circuit": circuit_key,
+            "measurements": sorted(self.measurements),
+            "config": list(self.config),
+        }
+        if self.sanitize != "strict":
+            # Conditional so pre-resilience jobs keep their exact keys.
+            body["sanitize"] = self.sanitize
+        payload = json.dumps(body, sort_keys=True)
         return hashlib.sha256(payload.encode()).hexdigest()
 
 
@@ -264,7 +301,7 @@ class JobResult:
 
     unit: str
     content_hash: str
-    status: str  # "ok" | "error" | "timeout" | "interrupted"
+    status: str  # "ok" | "degraded" | "error" | "timeout" | "interrupted" | "quarantined"
     diagnosis: Dict = field(default_factory=dict)
     error: str = ""
     elapsed: float = 0.0
@@ -275,6 +312,17 @@ class JobResult:
     @property
     def ok(self) -> bool:
         return self.status == "ok"
+
+    @property
+    def completed(self) -> bool:
+        """The diagnosis ran to quiescence: ``ok`` or ``degraded``.
+
+        A ``degraded`` result is complete *with respect to its sanitized
+        inputs* — ranked, classified, cacheable — but some observations
+        were dropped or widened on the way in (the actions are listed
+        under ``diagnosis["degraded"]``).
+        """
+        return self.status in ("ok", "degraded")
 
     @property
     def is_consistent(self) -> bool:
@@ -367,16 +415,42 @@ def job_from_spec(
     else:
         raise ManifestError(f"job {unit!r}: needs 'netlist' (path) or 'netlist_text'")
 
-    measurements: List[Measurement] = []
-    imprecision = float(spec.get("imprecision", 0.02))
+    sanitize = _resolve_sanitize(spec.get("sanitize", "strict"))
+    try:
+        imprecision = float(spec.get("imprecision", 0.02))
+    except (TypeError, ValueError) as exc:
+        raise ManifestError(f"job {unit!r}: bad imprecision: {exc}") from None
+
+    # Collect the raw (point, m1, m2, alpha, beta) tuples first.  Under
+    # the strict policy each one must construct a valid FuzzyInterval
+    # right here (malformed readings → ManifestError → HTTP 400); under
+    # "repair" the resilience sanitizer vets them at execution time
+    # instead, so a non-finite reading degrades the run rather than
+    # rejecting it.
+    raw: List[MeasurementTuple] = []
     for net, volts in (spec.get("probes") or {}).items():
-        measurements.append(
-            Measurement(f"V({net})", FuzzyInterval.number(float(volts), imprecision))
-        )
+        try:
+            value = float(volts)
+        except (TypeError, ValueError) as exc:
+            raise ManifestError(f"job {unit!r}: bad probe V({net}): {exc}") from None
+        raw.append((f"V({net})", value, value, imprecision, imprecision))
     for entry in spec.get("measurements") or []:
-        measurements.append(measurement_from_dict(entry))
-    if not measurements:
+        try:
+            point = str(entry["point"])
+            m1, m2, alpha, beta = (float(x) for x in entry["value"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ManifestError(f"bad measurement spec {entry!r}: {exc}") from None
+        raw.append((point, m1, m2, alpha, beta))
+    if not raw:
         raise ManifestError(f"job {unit!r}: needs 'probes' and/or 'measurements'")
+    if sanitize == "strict":
+        for point, m1, m2, alpha, beta in raw:
+            try:
+                FuzzyInterval(m1, m2, alpha, beta)
+            except ValueError as exc:
+                raise ManifestError(
+                    f"job {unit!r}: bad measurement at {point}: {exc}"
+                ) from None
 
     confirm = None
     if spec.get("confirm"):
@@ -385,12 +459,13 @@ def job_from_spec(
             raise ManifestError(f"job {unit!r}: 'confirm' needs a 'component'")
         confirm = (str(c["component"]), str(c.get("mode", "")))
 
-    return DiagnosisJob.build(
+    return DiagnosisJob(
         unit=unit,
-        circuit=text,
-        measurements=measurements,
-        config=spec.get("config"),
+        netlist_text=text,
+        measurements=tuple(raw),
+        config=_config_overrides(spec.get("config")),
         confirm=confirm,
+        sanitize=sanitize,
     )
 
 

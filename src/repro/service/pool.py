@@ -18,10 +18,23 @@
 
 Jobs are plain data (see :mod:`repro.service.jobs`), so nothing but
 picklable payloads ever crosses a process boundary.
+
+**Resilience plane** (see :mod:`repro.resilience` and README
+"Resilience"): an optional :class:`FleetSupervisor` quarantines
+poison jobs after repeated failures (a quarantined job returns a
+structured ``quarantined`` result and never re-enters the retry loop),
+scores worker health and proactively evicts/restarts a sick pool; the
+kernel **circuit breaker** falls back from the fast kernel to the
+reference engine on any exception (or differential mismatch, with
+``verify_kernel``), recording the trip in telemetry; and a seeded
+:class:`~repro.resilience.faults.FaultPlan` injects worker crashes,
+hangs, slow responses and malformed measurements at named points so
+chaos tests exercise every one of those paths deterministically.
 """
 
 from __future__ import annotations
 
+import logging
 import time
 import traceback
 from concurrent.futures import (
@@ -31,12 +44,17 @@ from concurrent.futures import (
     ThreadPoolExecutor,
 )
 from concurrent.futures import TimeoutError as FuturesTimeoutError
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.diagnosis import Flames
 from repro.core.knowledge import KnowledgeBase
 from repro.core.learning import Episode, ExperienceBase, SymptomSignature
+from repro.fuzzy import FuzzyInterval
+from repro.circuit.measurements import Measurement
+from repro.resilience import faults
+from repro.resilience.sanitize import SanitizeReport, sanitize_tuples
+from repro.resilience.supervisor import CircuitBreaker, FleetSupervisor, worker_breaker
 from repro.runtime.context import RunContext
 from repro.service.cache import ResultCache
 from repro.service.jobs import DiagnosisJob, JobResult, diagnosis_to_dict
@@ -44,7 +62,67 @@ from repro.service.telemetry import Telemetry
 
 __all__ = ["FleetEngine", "BatchReport", "execute_job"]
 
+log = logging.getLogger("repro.service")
+
 EXECUTORS = ("process", "thread", "serial")
+
+
+def _diagnose_with_breaker(
+    job: DiagnosisJob,
+    circuit,
+    measurements: List[Measurement],
+    ctx: Optional[RunContext],
+    breaker: Optional[CircuitBreaker],
+    verify_kernel: bool,
+    payload: Dict,
+):
+    """Run the diagnosis, routing the fast kernel through its breaker.
+
+    The reference kernel is the trusted substrate; the fast kernel is an
+    optimisation that must never be a liability.  Any exception raised
+    while the fast kernel is engaged counts against the breaker and the
+    job transparently re-runs on the reference engine; with
+    ``verify_kernel`` a completed fast run is additionally replayed on
+    the reference engine and a differential mismatch counts as a breaker
+    failure too (the reference result wins).  Breaker state transitions
+    are annotated onto ``payload`` so the engine folds them into
+    telemetry from any executor kind.
+    """
+    config = job.flames_config()
+    if config.kernel != "fast":
+        return Flames(circuit, config).diagnose(measurements, ctx=ctx)
+    if breaker is None:
+        breaker = worker_breaker()
+    if not breaker.allow():
+        # Breaker open: bypass the fast kernel entirely.
+        breaker.record_bypass()
+        payload["kernel"] = "reference"
+        payload["kernel_fallback"] = "breaker-open"
+        config = replace(config, kernel="reference")
+        return Flames(circuit, config).diagnose(measurements, ctx=ctx)
+    try:
+        result = Flames(circuit, config).diagnose(measurements, ctx=ctx)
+    except Exception as exc:
+        tripped = breaker.record_failure()
+        payload["kernel"] = "reference"
+        payload["kernel_fallback"] = f"exception: {type(exc).__name__}: {exc}"
+        if tripped:
+            payload["kernel_tripped"] = True
+        config = replace(config, kernel="reference")
+        return Flames(circuit, config).diagnose(measurements, ctx=ctx)
+    if verify_kernel and not result.interrupted:
+        reference = Flames(circuit, replace(config, kernel="reference")).diagnose(
+            measurements, ctx=None
+        )
+        if diagnosis_to_dict(result) != diagnosis_to_dict(reference):
+            tripped = breaker.record_failure()
+            payload["kernel"] = "reference"
+            payload["kernel_fallback"] = "differential-mismatch"
+            if tripped:
+                payload["kernel_tripped"] = True
+            return reference
+    breaker.record_success()
+    return result
 
 
 def execute_job(
@@ -52,6 +130,9 @@ def execute_job(
     deadline_seconds: Optional[float] = None,
     tracing: bool = False,
     ctx: Optional[RunContext] = None,
+    fault_plan: Optional[faults.FaultPlan] = None,
+    breaker: Optional[CircuitBreaker] = None,
+    verify_kernel: bool = False,
 ) -> Dict:
     """Run one job to a plain-dict outcome (the worker entry point).
 
@@ -64,37 +145,86 @@ def execute_job(
     sharing its cancel token — which takes precedence.  Exceptions are
     converted into an ``error`` payload — a crashing job must produce a
     result, not a dead pool.
+
+    ``fault_plan`` (plain data, so it crosses the pickle boundary) arms
+    the worker's deterministic injection points; ``breaker`` routes the
+    fast kernel through the caller's circuit breaker (worker processes,
+    which cannot share one, fall back to a process-local breaker).
     """
     start = time.perf_counter()
+    if fault_plan is not None and faults.active_plan() != fault_plan:
+        faults.install_plan(fault_plan)
     if ctx is None and (deadline_seconds is not None or tracing):
         ctx = RunContext.with_timeout(deadline_seconds, tracing=tracing)
+    payload: Dict = {}
     try:
-        circuit = job.circuit()
-        measurements = job.to_measurements()
-        engine = Flames(circuit, job.flames_config())
-        result = engine.diagnose(measurements, ctx=ctx)
-        refinements = None
-        if not result.is_consistent and not result.interrupted:
-            refinements = KnowledgeBase(circuit).refine(
-                result.suspicions, measurements, top_k=5
+        with faults.key_scope(job.content_hash):
+            # --- chaos: the worker-level injection points -------------
+            faults.maybe_exit("pool.worker_exit")
+            faults.maybe_raise("pool.worker_crash")
+            faults.maybe_sleep("pool.worker_hang")
+            faults.maybe_sleep("pool.slow_response")
+
+            raw = list(job.measurements)
+            if raw and faults.maybe_fire("measurement.malformed") is not None:
+                # A glitched bench: the first reading turns non-finite.
+                point = raw[0][0]
+                raw[0] = (point, float("nan"), float("nan"), 0.0, 0.0)
+
+            report = SanitizeReport()
+            if job.sanitize == "repair":
+                raw, report = sanitize_tuples(raw)
+                if not raw:
+                    return {
+                        "status": "error",
+                        "error": "sanitizer dropped every measurement: "
+                        + "; ".join(a.reason for a in report.actions),
+                        "degraded": report.to_dict(),
+                        "elapsed": time.perf_counter() - start,
+                    }
+            circuit = job.circuit()
+            measurements = [
+                Measurement(point, FuzzyInterval(m1, m2, alpha, beta))
+                for point, m1, m2, alpha, beta in raw
+            ]
+            result = _diagnose_with_breaker(
+                job, circuit, measurements, ctx, breaker, verify_kernel, payload
             )
-        payload = {
-            "status": "interrupted" if result.interrupted else "ok",
-            "diagnosis": diagnosis_to_dict(result, refinements),
-            "elapsed": time.perf_counter() - start,
-        }
-        if result.interrupted and ctx is not None:
-            payload["error"] = f"run interrupted: {ctx.stop_reason or 'stopped'}"
-        if result.trace:
-            payload["trace"] = result.trace
-        return payload
+            refinements = None
+            if not result.is_consistent and not result.interrupted:
+                refinements = KnowledgeBase(circuit).refine(
+                    result.suspicions, measurements, top_k=5
+                )
+            if result.interrupted:
+                status = "interrupted"
+            elif report.degraded:
+                status = "degraded"
+            else:
+                status = "ok"
+            payload.update(
+                {
+                    "status": status,
+                    "diagnosis": diagnosis_to_dict(result, refinements),
+                    "elapsed": time.perf_counter() - start,
+                }
+            )
+            if report.degraded:
+                payload["diagnosis"]["degraded"] = report.to_dict()
+            if result.interrupted and ctx is not None:
+                payload["error"] = f"run interrupted: {ctx.stop_reason or 'stopped'}"
+            if result.trace:
+                payload["trace"] = result.trace
+            return payload
     except Exception as exc:
         tail = traceback.format_exc(limit=3)
-        return {
-            "status": "error",
-            "error": f"{type(exc).__name__}: {exc}\n{tail}",
-            "elapsed": time.perf_counter() - start,
-        }
+        payload.update(
+            {
+                "status": "error",
+                "error": f"{type(exc).__name__}: {exc}\n{tail}",
+                "elapsed": time.perf_counter() - start,
+            }
+        )
+        return payload
 
 
 @dataclass
@@ -112,8 +242,13 @@ class BatchReport:
         return [r for r in self.results if r.status == "ok"]
 
     @property
+    def completed(self) -> List[JobResult]:
+        """Results whose diagnosis ran to quiescence (``ok`` + ``degraded``)."""
+        return [r for r in self.results if r.completed]
+
+    @property
     def failed(self) -> List[JobResult]:
-        return [r for r in self.results if r.status != "ok"]
+        return [r for r in self.results if not r.completed]
 
     @property
     def cache_hits(self) -> int:
@@ -155,6 +290,17 @@ class FleetEngine:
         telemetry: shared :class:`Telemetry` (one is built when omitted).
         experience: the shared fleet :class:`ExperienceBase` that
             confirmed repairs merge into after every batch.
+        supervisor: the resilience plane's :class:`FleetSupervisor`
+            (quarantine + worker health + kernel breaker).  ``None``
+            (the default) preserves the pre-resilience retry semantics
+            exactly; pass ``FleetSupervisor()`` — or use
+            ``supervise=True`` on the CLI — to engage it.
+        fault_plan: a deterministic :class:`~repro.resilience.faults.
+            FaultPlan` armed in every worker (chaos testing only).
+        verify_kernel: differentially check every completed fast-kernel
+            run against the reference engine; a mismatch counts as a
+            breaker failure and the reference result wins.  Expensive —
+            chaos/soak runs only.
     """
 
     def __init__(
@@ -168,6 +314,9 @@ class FleetEngine:
         telemetry: Optional[Telemetry] = None,
         experience: Optional[ExperienceBase] = None,
         tracing: bool = False,
+        supervisor: Optional[FleetSupervisor] = None,
+        fault_plan: Optional[faults.FaultPlan] = None,
+        verify_kernel: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -183,6 +332,16 @@ class FleetEngine:
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.experience = experience if experience is not None else ExperienceBase()
         self.tracing = bool(tracing)
+        self.supervisor = supervisor
+        if supervisor is not None and supervisor.telemetry is None:
+            supervisor.telemetry = self.telemetry
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            # Arm the engine's own process too (serial/thread executors,
+            # the cache's corruption point); workers re-arm from the
+            # pickled plan in execute_job.
+            faults.install_plan(fault_plan)
+        self.verify_kernel = bool(verify_kernel)
 
     # ------------------------------------------------------------------
     # The pipeline
@@ -202,6 +361,9 @@ class FleetEngine:
         followers: Dict[str, List[int]] = {}
         with tel.phase("cache"):
             for index, (job, key) in enumerate(zip(jobs, hashes)):
+                if self.supervisor is not None and self.supervisor.is_quarantined(key):
+                    results[index] = self._quarantined_result(job, key)
+                    continue
                 cached = self.cache.get(key)
                 if cached is not None:
                     results[index] = cached.relabel(job.unit)
@@ -216,16 +378,17 @@ class FleetEngine:
         for key, index in leaders.items():
             outcome = executed[key]
             results[index] = outcome
-            if outcome.ok:
+            if outcome.completed:
                 self.cache.put(key, outcome)
             for follower in followers.get(key, []):
-                if outcome.ok:
+                if outcome.completed:
                     # Replay through the cache so in-batch duplicates are
                     # counted exactly like warm-pass hits.
                     stored = self.cache.get(key)
-                    results[follower] = stored.relabel(jobs[follower].unit)
-                else:
-                    results[follower] = outcome.relabel(jobs[follower].unit, cache_hit=False)
+                    if stored is not None:
+                        results[follower] = stored.relabel(jobs[follower].unit)
+                        continue
+                results[follower] = outcome.relabel(jobs[follower].unit, cache_hit=False)
 
         ordered = [results[i] for i in range(len(jobs))]
 
@@ -263,26 +426,70 @@ class FleetEngine:
         """
         tel = self.telemetry
         key = job.content_hash
+        if self.supervisor is not None and self.supervisor.is_quarantined(key):
+            result = self._quarantined_result(job, key)
+            self._record_result(result)
+            return result
         cached = self.cache.get(key)
         if cached is not None:
             result = cached.relabel(job.unit)
         else:
             attempts = 0
+            quarantined = False
             while True:
                 attempts += 1
                 payload = execute_job(
-                    job, deadline_seconds=self.timeout, tracing=self.tracing, ctx=ctx
+                    job,
+                    deadline_seconds=self.timeout,
+                    tracing=self.tracing,
+                    ctx=ctx,
+                    fault_plan=self.fault_plan,
+                    breaker=self._breaker(),
+                    verify_kernel=self.verify_kernel,
                 )
-                if payload["status"] != "error" or attempts > self.retries:
+                quarantined = self._note_attempt(key, payload)
+                if quarantined or payload["status"] != "error" or attempts > self.retries:
                     break
                 tel.incr("retries")
-            result = self._to_result(job, key, payload, attempts)
-            if result.ok:
+            if quarantined:
+                result = self._quarantined_result(job, key, attempts=attempts)
+            else:
+                result = self._to_result(job, key, payload, attempts)
+            if result.completed:
                 # Interrupted results are partial: never cached.
                 self.cache.put(key, result)
         self._merge_experience([job], [result])
         self._record_result(result)
         return result
+
+    def _breaker(self) -> Optional[CircuitBreaker]:
+        """The in-process kernel breaker (None without a supervisor)."""
+        return self.supervisor.breaker if self.supervisor is not None else None
+
+    def _quarantined_result(
+        self, job: DiagnosisJob, key: str, attempts: int = 0
+    ) -> JobResult:
+        assert self.supervisor is not None
+        return JobResult(
+            unit=job.unit,
+            content_hash=key,
+            status="quarantined",
+            error=self.supervisor.quarantine_reason(key),
+            attempts=attempts,
+            cache_hit=False,
+        )
+
+    def _note_attempt(self, key: str, payload: Dict) -> bool:
+        """Score one attempt with the supervisor; True once quarantined."""
+        if self.supervisor is None:
+            return False
+        status = payload.get("status")
+        functioned = status in ("ok", "degraded", "interrupted")
+        self.supervisor.record_worker_outcome(functioned)
+        if functioned:
+            self.supervisor.record_job_success(key)
+            return False
+        return self.supervisor.record_failure(key, str(payload.get("error", "")))
 
     def _record_result(self, res: JobResult) -> None:
         """Per-result counters shared by ``run_batch`` and ``run_job``."""
@@ -317,18 +524,29 @@ class FleetEngine:
             while True:
                 attempts += 1
                 payload = execute_job(
-                    job, deadline_seconds=self.timeout, tracing=self.tracing
+                    job,
+                    deadline_seconds=self.timeout,
+                    tracing=self.tracing,
+                    fault_plan=self.fault_plan,
+                    breaker=self._breaker(),
+                    verify_kernel=self.verify_kernel,
                 )
+                if self._note_attempt(key, payload):
+                    results[key] = self._quarantined_result(job, key, attempts=attempts)
+                    break
                 if payload["status"] != "error" or attempts > self.retries:
+                    results[key] = self._to_result(job, key, payload, attempts)
                     break
                 self.telemetry.incr("retries")
-            results[key] = self._to_result(job, key, payload, attempts)
         return results
 
     def _execute_pooled(self, pending: Dict[str, DiagnosisJob]) -> Dict[str, JobResult]:
         results: Dict[str, JobResult] = {}
         attempts = {key: 0 for key in pending}
         executor = self._make_executor()
+        # Worker processes cannot share the supervisor's breaker object;
+        # they fall back to a process-local one inside execute_job.
+        breaker = self._breaker() if self.executor_kind == "thread" else None
         # The deadline travels in-band (the worker winds down on its own);
         # the pool-side wait adds a grace period and acts as a hard-kill
         # backstop for jobs hung outside the cooperative loop.
@@ -344,12 +562,14 @@ class FleetEngine:
                     attempts[key] += 1
                     try:
                         futures[key] = executor.submit(
-                            execute_job, job, self.timeout, self.tracing
+                            execute_job, job, self.timeout, self.tracing,
+                            None, self.fault_plan, breaker, self.verify_kernel,
                         )
                     except (BrokenExecutor, RuntimeError):
                         executor = self._revive(executor)
                         futures[key] = executor.submit(
-                            execute_job, job, self.timeout, self.tracing
+                            execute_job, job, self.timeout, self.tracing,
+                            None, self.fault_plan, breaker, self.verify_kernel,
                         )
                 retry: Dict[str, DiagnosisJob] = {}
                 for key, future in futures.items():
@@ -374,17 +594,32 @@ class FleetEngine:
                             "elapsed": 0.0,
                         }
                     except Exception as exc:  # unpicklable result, cancellation, ...
+                        self.telemetry.incr("jobs_internal_error")
+                        log.warning(
+                            "job %s raised outside the worker body: %s: %s",
+                            job.unit, type(exc).__name__, exc,
+                        )
                         payload = {
                             "status": "error",
                             "error": f"{type(exc).__name__}: {exc}",
                             "elapsed": 0.0,
                         }
+                    quarantined = self._note_attempt(key, payload)
                     failed = payload["status"] == "error"
-                    if failed and not timed_out and attempts[key] <= self.retries:
+                    if quarantined:
+                        results[key] = self._quarantined_result(
+                            job, key, attempts=attempts[key]
+                        )
+                    elif failed and not timed_out and attempts[key] <= self.retries:
                         retry[key] = job
                         self.telemetry.incr("retries")
                     else:
                         results[key] = self._to_result(job, key, payload, attempts[key])
+                if self.supervisor is not None and self.supervisor.should_evict():
+                    # Sustained crashes/hangs: evict the sick pool and
+                    # restart fresh before the next round.
+                    executor = self._revive(executor)
+                    self.supervisor.record_eviction()
                 pending = retry
         finally:
             executor.shutdown(wait=False, cancel_futures=True)
@@ -399,8 +634,14 @@ class FleetEngine:
         """Replace a broken pool (graceful degradation, not batch death)."""
         try:
             executor.shutdown(wait=False, cancel_futures=True)
-        except Exception:
-            pass
+        except Exception as exc:
+            # Even a failed shutdown must not kill the batch, but it is
+            # an internal fault worth surfacing, not swallowing.
+            self.telemetry.incr("jobs_internal_error")
+            self.telemetry.event(
+                "internal_error", where="pool_shutdown", error=f"{type(exc).__name__}: {exc}"
+            )
+            log.warning("broken pool shutdown failed: %s: %s", type(exc).__name__, exc)
         self.telemetry.incr("pool_restarts")
         return self._make_executor()
 
@@ -418,7 +659,22 @@ class FleetEngine:
             cache_hit=False,
             trace=dict(payload.get("trace") or {}),
         )
-        if not result.ok:
+        fallback = payload.get("kernel_fallback")
+        if fallback:
+            self.telemetry.incr("kernel_fallbacks")
+            if payload.get("kernel_tripped"):
+                self.telemetry.incr("kernel_breaker_trips")
+                self.telemetry.event(
+                    "kernel_breaker_trip", unit=job.unit, reason=str(fallback)
+                )
+        if result.status == "degraded":
+            self.telemetry.event(
+                "job_degraded",
+                unit=job.unit,
+                dropped=len(result.diagnosis.get("degraded", {}).get("dropped", [])),
+                widened=len(result.diagnosis.get("degraded", {}).get("widened", [])),
+            )
+        if not result.completed:
             self.telemetry.event(
                 "job_failed",
                 unit=job.unit,

@@ -1,0 +1,158 @@
+"""Breaker and supervisor state machines, plus cache-corruption handling."""
+
+import pytest
+
+from repro.resilience import CircuitBreaker, FleetSupervisor
+from repro.service.cache import ResultCache
+from repro.service.jobs import JobResult
+from repro.service.telemetry import Telemetry
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold(self):
+        breaker = CircuitBreaker(threshold=3)
+        assert breaker.state == "closed"
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is False
+        assert breaker.record_failure() is True  # this call trips it
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_failure_window(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        assert breaker.record_failure() is False  # streak restarted
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_success_closes(self):
+        breaker = CircuitBreaker(threshold=1, probe_after=3)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        for _ in range(3):
+            breaker.record_bypass()
+        assert breaker.state == "half-open"
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(threshold=1, probe_after=1)
+        breaker.record_failure()
+        breaker.record_bypass()
+        assert breaker.state == "half-open"
+        assert breaker.record_failure() is True  # the failed probe re-trips
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+
+    def test_snapshot_is_plain_data(self):
+        snap = CircuitBreaker().snapshot()
+        assert snap == {"state": "closed", "failures": 0, "trips": 0}
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(probe_after=0)
+
+
+class TestQuarantine:
+    def test_quarantines_after_k_failures(self):
+        sup = FleetSupervisor(quarantine_after=3, telemetry=Telemetry())
+        assert sup.record_failure("job-a", "boom") is False
+        assert sup.record_failure("job-a", "boom") is False
+        assert sup.record_failure("job-a", "boom") is True
+        assert sup.is_quarantined("job-a")
+        assert "3 failures" in sup.quarantine_reason("job-a")
+        assert "boom" in sup.quarantine_reason("job-a")
+        assert sup.telemetry.counter("jobs_quarantined_total") == 1
+
+    def test_counts_are_cumulative_across_batches(self):
+        sup = FleetSupervisor(quarantine_after=3)
+        sup.record_failure("job-a")  # batch 1
+        sup.record_failure("job-a")  # batch 2
+        assert not sup.is_quarantined("job-a")
+        assert sup.record_failure("job-a") is True  # batch 3
+
+    def test_success_forgives_the_streak(self):
+        sup = FleetSupervisor(quarantine_after=2)
+        sup.record_failure("job-a")
+        sup.record_job_success("job-a")
+        assert sup.failure_count("job-a") == 0
+        assert sup.record_failure("job-a") is False
+
+    def test_already_quarantined_stays_quarantined(self):
+        sup = FleetSupervisor(quarantine_after=1)
+        assert sup.record_failure("job-a", "first") is True
+        assert sup.record_failure("job-a", "second") is True
+        assert "first" in sup.quarantine_reason("job-a")
+        assert sup.quarantined_keys() == {"job-a": "first"}
+
+
+class TestWorkerHealth:
+    def test_health_decays_on_failures_and_recovers(self):
+        sup = FleetSupervisor(health_floor=0.3, health_decay=0.7)
+        assert sup.health == 1.0
+        for _ in range(4):
+            sup.record_worker_outcome(False)
+        assert sup.should_evict()
+        sup.record_eviction()
+        assert sup.health == 1.0
+        assert sup.evictions == 1
+        assert not sup.should_evict()
+
+    def test_healthy_stream_never_evicts(self):
+        sup = FleetSupervisor()
+        for _ in range(100):
+            sup.record_worker_outcome(True)
+        assert not sup.should_evict()
+
+    def test_eviction_recorded_in_telemetry(self):
+        tel = Telemetry()
+        sup = FleetSupervisor(telemetry=tel)
+        sup.record_eviction()
+        assert tel.counter("worker_evictions") == 1
+        assert any(e["kind"] == "worker_evicted" for e in tel.snapshot()["events"])
+
+    def test_snapshot_shape(self):
+        snap = FleetSupervisor().snapshot()
+        assert set(snap) == {"health", "evictions", "quarantined", "breaker"}
+
+
+class TestCacheIntegrity:
+    def _result(self, key="h" * 64):
+        return JobResult(
+            unit="u", content_hash=key, status="ok", diagnosis={"status": "faulty"}
+        )
+
+    def test_tampered_entry_is_counted_miss_not_crash(self):
+        cache = ResultCache(capacity=8)
+        cache.put("k1", self._result())
+        assert cache.tamper("k1")
+        assert cache.get("k1") is None  # purged, not served, not raised
+        snap = cache.snapshot()
+        assert snap["corruptions"] == 1
+        assert snap["misses"] == 1
+        assert snap["hits"] == 0
+        assert snap["size"] == 0
+
+    def test_refill_after_corruption_serves_again(self):
+        cache = ResultCache(capacity=8)
+        cache.put("k1", self._result())
+        cache.tamper("k1")
+        assert cache.get("k1") is None
+        cache.put("k1", self._result())
+        assert cache.get("k1") is not None
+        assert cache.snapshot()["corruptions"] == 1
+
+    def test_tamper_missing_key_is_false(self):
+        assert ResultCache().tamper("nope") is False
+
+    def test_intact_entries_unaffected(self):
+        cache = ResultCache(capacity=8)
+        cache.put("k1", self._result())
+        cache.put("k2", self._result())
+        cache.tamper("k1")
+        assert cache.get("k2") is not None
+        assert cache.snapshot()["corruptions"] == 0  # k1 not read yet

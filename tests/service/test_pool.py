@@ -134,7 +134,7 @@ class TestTimeout:
     def test_hung_job_yields_structured_timeout(self, monkeypatch):
         # A worker hung *outside* the cooperative loop (it never checks
         # its RunContext) — the pool-side hard backstop must still fire.
-        def sleepy(job, deadline_seconds=None, tracing=False, ctx=None):
+        def sleepy(job, *args, **kwargs):
             time.sleep(5.0)
             return {"status": "ok", "diagnosis": {}, "elapsed": 5.0}
 
