@@ -1,0 +1,214 @@
+"""Cluster-mode throughput benchmarks: the replica-scaling sweep.
+
+A real :class:`~repro.cluster.ClusterGateway` fronting a subprocess
+:class:`~repro.cluster.ReplicaManager` fleet (each replica its own
+interpreter — its own GIL), driven through the gateway over real
+sockets.  Reported:
+
+* **req/s vs replica count** — warm-cache throughput at fixed client
+  concurrency as the fleet grows 1 → 2 → 4 replicas (the EXPERIMENTS.md
+  scaling table);
+* **zero dropped** — every request answered 200 at every fleet size;
+* **warm shards** — repeat content must hit its shard owner's cache.
+
+Throughput *assertions* are lenient (zero dropped + correctness only):
+the hosted CI runner may expose a single core, where extra replicas
+cannot add CPU.  ``REPRO_BENCH_STRICT=1`` (module entry point) arms the
+paper-claim assertion — ≥3x aggregate req/s going 1 → 4 replicas on
+CPU-bound traffic — for multicore machines:
+
+    REPRO_BENCH_STRICT=1 PYTHONPATH=src python -m benchmarks.bench_cluster
+"""
+
+import asyncio
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.circuit.faults import Fault, FaultKind, apply_fault
+from repro.circuit.library import three_stage_amplifier
+from repro.circuit.measurements import probe_all
+from repro.circuit.simulate import DCSolver
+from repro.circuit.spice import write_netlist
+from repro.cluster import ClusterConfig, ClusterGateway
+from repro.server import DiagnosisClient
+from repro.service.jobs import measurement_to_dict
+
+PROBES = ("vs", "v2", "v1")
+
+FAULTS = [
+    Fault(FaultKind.SHORT, "R2"),
+    Fault(FaultKind.OPEN, "R3"),
+    Fault(FaultKind.PARAM, "R2", parameter="resistance", value=12.18e3),
+    Fault(FaultKind.PARAM, "R4", parameter="resistance", value=3.6e3),
+    Fault(FaultKind.SHORT, "R5"),
+    Fault(FaultKind.OPEN, "R1"),
+]
+
+
+def demo_specs(count: int, distinct: bool = False):
+    """``count`` job specs over the demo amplifier.
+
+    With ``distinct=True`` every spec gets a unique content hash (a
+    per-index imprecision jitter) so each request is a *cold*,
+    CPU-bound diagnosis — the workload where extra replicas can help.
+    The default cycles six defects, so repeats hit warm shards.
+    """
+    golden = three_stage_amplifier()
+    netlist = write_netlist(golden)
+    ops = [DCSolver(apply_fault(golden, f)).solve() for f in FAULTS]
+    specs = []
+    for i in range(count):
+        imprecision = 0.02 + (i * 1e-4 if distinct else 0.0)
+        bench = probe_all(ops[i % len(ops)], PROBES, imprecision=imprecision)
+        specs.append(
+            {
+                "unit": f"unit-{i:03d}",
+                "netlist_text": netlist,
+                "measurements": [measurement_to_dict(m) for m in bench],
+            }
+        )
+    return specs
+
+
+class ClusterHarness:
+    """A gateway + subprocess replica fleet on a background thread."""
+
+    def __init__(self, replicas: int, **overrides):
+        options = dict(
+            port=0,
+            replicas=replicas,
+            workers=2,
+            queue_size=64,
+            timeout=60.0,
+            poll_interval=30.0,  # benchmarks drive traffic, not chaos
+            gossip_interval=30.0,
+            drain_grace=30.0,
+        )
+        options.update(overrides)
+        self.gateway = ClusterGateway(ClusterConfig(**options))
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+        try:
+            self.loop.run_until_complete(self.gateway.serve())
+        finally:
+            self.loop.close()
+
+    def __enter__(self):
+        self.thread.start()
+        deadline = time.time() + 180
+        while self.gateway.port is None and time.time() < deadline:
+            time.sleep(0.05)
+        assert self.gateway.port, "gateway did not bind"
+        return self
+
+    def __exit__(self, *exc_info):
+        if self.thread.is_alive():
+            self.loop.call_soon_threadsafe(self.gateway.request_shutdown)
+        self.thread.join(timeout=90)
+
+    def client(self, **kwargs):
+        kwargs.setdefault("timeout", 120.0)
+        kwargs.setdefault("retries", 4)
+        kwargs.setdefault("backoff", 0.05)
+        return DiagnosisClient(port=self.gateway.port, **kwargs)
+
+
+def fire_concurrent(harness, specs, concurrency):
+    """All specs through ``concurrency`` client threads; (wall, results)."""
+
+    def one(spec):
+        with harness.client() as client:
+            return client.diagnose(spec)
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=concurrency) as pool:
+        results = list(pool.map(one, specs))
+    return time.perf_counter() - start, results
+
+
+def run_replica_sweep(replica_counts=(1, 2, 4), requests=18, concurrency=8):
+    """Cold-cache (CPU-bound) req/s as the fleet grows; (table, rates).
+
+    Every request carries unique content, so nothing is a cache hit —
+    throughput is bounded by diagnosis CPU, which is exactly what
+    additional replica processes add (one GIL each).
+    """
+    specs = demo_specs(requests, distinct=True)
+    lines = [
+        f"cluster scaling ({requests} cold diagnoses, client concurrency "
+        f"{concurrency}, 2 workers/replica)",
+        f"  {'replicas':>8}  {'wall (s)':>9}  {'req/s':>7}  {'dropped':>7}",
+    ]
+    rates = {}
+    for count in replica_counts:
+        with ClusterHarness(count) as harness:
+            wall, results = fire_concurrent(harness, specs, concurrency)
+        dropped = [r for r in results if r.get("status") != "ok"]
+        assert not dropped, f"{len(dropped)} dropped at {count} replica(s)"
+        rates[count] = len(results) / wall
+        lines.append(
+            f"  {count:>8}  {wall:>9.3f}  {rates[count]:>7.1f}  {len(dropped):>7}"
+        )
+    base = min(replica_counts)
+    for count in replica_counts:
+        if count != base:
+            lines.append(
+                f"  speedup x{rates[count] / rates[base]:.2f} at {count} replicas "
+                f"(vs {base})"
+            )
+    return "\n".join(lines), rates
+
+
+def run_warm_shard_check(replicas=2):
+    """Repeat content must land on its shard owner's warm cache."""
+    specs = demo_specs(6)
+    with ClusterHarness(replicas) as harness:
+        fire_concurrent(harness, specs, 4)  # prime every shard
+        wall, results = fire_concurrent(harness, specs, 4)
+    hits = sum(1 for r in results if r.get("cache_hit"))
+    lines = [
+        f"cluster warm shards ({replicas} replicas, {len(specs)} distinct contents)",
+        f"  repeat pass: {hits}/{len(results)} cache hits in {wall:.3f}s",
+    ]
+    return "\n".join(lines), hits, results
+
+
+class TestClusterScaling:
+    def test_sweep_zero_dropped(self, emit):
+        # 1→2 replicas keeps CI wall-clock sane; the module entry point
+        # runs the full 1→2→4 sweep with the strict scaling assertion.
+        table, rates = run_replica_sweep(replica_counts=(1, 2), requests=12)
+        emit("cluster-sweep", table)
+        assert all(rate > 0 for rate in rates.values())
+
+    def test_warm_shards_all_hit(self, emit):
+        table, hits, results = run_warm_shard_check()
+        emit("cluster-shards", table)
+        # Sticky routing means the repeat pass is all cache hits —
+        # the shard owner already computed every answer.
+        assert hits == len(results)
+
+
+def main():  # pragma: no cover - manual entry point
+    table, rates = run_replica_sweep()
+    print(table)
+    if os.environ.get("REPRO_BENCH_STRICT"):
+        scale = rates[max(rates)] / rates[min(rates)]
+        assert scale >= 3.0, (
+            f"aggregate throughput scaled only x{scale:.2f} from "
+            f"{min(rates)} to {max(rates)} replicas (need >=3x)"
+        )
+        print(f"strict scaling ok: x{scale:.2f}")
+    print()
+    table, hits, results = run_warm_shard_check()
+    print(table)
+    assert hits == len(results), "repeat pass missed a warm shard"
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -15,6 +15,10 @@ Commands:
 * ``serve`` — server mode: keep a warm engine resident and serve
   diagnosis over HTTP/JSON with admission control and graceful drain
   (see README "Server mode").
+* ``cluster`` — cluster mode: a consistent-hash gateway sharding the
+  same API across ``--replicas N`` server subprocesses, with failover,
+  replica supervision and experience gossip (see README "Cluster
+  mode").
 * ``simulate NETLIST`` — print the DC operating point of a netlist.
 * ``demo`` — the quickstart walk-through on the three-stage amplifier.
 """
@@ -246,6 +250,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return serve_main(forwarded)
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster.gateway import main as cluster_main
+
+    forwarded = [
+        "--host", args.host,
+        "--port", str(args.port),
+        "--replicas", str(args.replicas),
+        "--vnodes", str(args.vnodes),
+        "--workers", str(args.workers),
+        "--queue-size", str(args.queue_size),
+        "--cache-size", str(args.cache_size),
+        "--timeout", str(args.timeout),
+        "--retries", str(args.retries),
+        "--poll-interval", str(args.poll_interval),
+        "--gossip-interval", str(args.gossip_interval),
+    ]
+    if args.supervise:
+        forwarded.append("--supervise")
+    if args.faults:
+        forwarded.extend(["--faults", args.faults])
+    if args.replica_faults:
+        forwarded.extend(["--replica-faults", args.replica_faults])
+    return cluster_main(forwarded)
+
+
 def _cmd_demo(_args: argparse.Namespace) -> int:
     from repro.circuit.faults import Fault, FaultKind, apply_fault
     from repro.circuit.library import three_stage_amplifier
@@ -429,6 +458,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="differentially check every fast-kernel run (chaos/soak only)",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="cluster mode: a sharded replica fleet behind one gateway",
+    )
+    cluster.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    cluster.add_argument(
+        "--port", type=int, default=8090, help="gateway port; 0 picks an ephemeral port"
+    )
+    cluster.add_argument(
+        "--replicas", type=int, default=2,
+        help="server subprocesses to run (default 2)",
+    )
+    cluster.add_argument(
+        "--vnodes", type=int, default=64,
+        help="virtual nodes per replica on the hash ring (default 64)",
+    )
+    cluster.add_argument(
+        "--workers", type=int, default=2,
+        help="diagnosis slots per replica (default 2)",
+    )
+    cluster.add_argument(
+        "--queue-size", type=int, default=64,
+        help="admission queue depth per replica (default 64)",
+    )
+    cluster.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="result-cache capacity per replica (default 1024)",
+    )
+    cluster.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="per-request budget in seconds (default 30)",
+    )
+    cluster.add_argument(
+        "--retries", type=int, default=1,
+        help="per-replica crashed-job retries (default 1)",
+    )
+    cluster.add_argument(
+        "--poll-interval", type=float, default=1.0,
+        help="replica health-poll period in seconds (default 1)",
+    )
+    cluster.add_argument(
+        "--gossip-interval", type=float, default=2.0,
+        help="experience gossip period in seconds (default 2)",
+    )
+    cluster.add_argument(
+        "--supervise", action="store_true",
+        help="engage the fleet supervisor inside every replica",
+    )
+    cluster.add_argument(
+        "--faults", default="",
+        help="JSON fault plan armed in the gateway (cluster.* chaos points)",
+    )
+    cluster.add_argument(
+        "--replica-faults", default="",
+        help="JSON fault plan forwarded to every replica subprocess",
+    )
+    cluster.set_defaults(func=_cmd_cluster)
 
     demo = sub.add_parser("demo", help="diagnose a shorted resistor on the paper's amplifier")
     demo.set_defaults(func=_cmd_demo)

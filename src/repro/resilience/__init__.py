@@ -32,7 +32,12 @@ from repro.resilience.sanitize import (
     sanitize_measurements,
     sanitize_tuples,
 )
-from repro.resilience.supervisor import CircuitBreaker, FleetSupervisor, worker_breaker
+from repro.resilience.supervisor import (
+    CircuitBreaker,
+    EwmaHealth,
+    FleetSupervisor,
+    worker_breaker,
+)
 
 __all__ = [
     "POINTS",
@@ -41,6 +46,7 @@ __all__ = [
     "FaultRule",
     "InjectedFault",
     "CircuitBreaker",
+    "EwmaHealth",
     "FleetSupervisor",
     "SanitizeAction",
     "SanitizeReport",

@@ -40,6 +40,12 @@ The recognised injection points:
                           before parsing (→ sanitizer drop / structured 400)
 ``server.io``             raise inside the server's dispatch (→ structured
                           500, connection survives)
+``cluster.replica_kill``  hard-kill one replica subprocess from the cluster
+                          manager's supervision tick (→ ring failover routes
+                          around it, the manager restarts it)
+``cluster.gossip_drop``   drop one gossip delivery (→ the experience delta is
+                          retried on the next round; convergence survives a
+                          lossy mesh)
 ========================  ====================================================
 """
 
@@ -82,6 +88,8 @@ POINTS = (
     "kernel.exception",
     "measurement.malformed",
     "server.io",
+    "cluster.replica_kill",
+    "cluster.gossip_drop",
 )
 
 

@@ -33,7 +33,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.service.telemetry import Telemetry
 
-__all__ = ["CircuitBreaker", "FleetSupervisor", "worker_breaker"]
+__all__ = ["CircuitBreaker", "EwmaHealth", "FleetSupervisor", "worker_breaker"]
 
 #: Process-local breaker adopted by pool *worker processes*, where the
 #: engine's supervisor (and its locks) cannot cross the pickle boundary.
@@ -49,6 +49,49 @@ def worker_breaker() -> "CircuitBreaker":
             if _worker_breaker is None:
                 _worker_breaker = CircuitBreaker()
     return _worker_breaker
+
+
+class EwmaHealth:
+    """An exponentially-weighted success score for one supervised entity.
+
+    The scoring rule the :class:`FleetSupervisor` applies to its worker
+    pool, extracted so the cluster's :class:`~repro.cluster.replicas.
+    ReplicaManager` can score each server replica with the identical
+    machinery: every outcome folds in as
+    ``decay * score + (1 - decay) * (1 if ok else 0)``, and a score
+    below ``floor`` marks the entity for eviction.  Deterministic —
+    counted in events, never in wall-clock time.
+    """
+
+    def __init__(self, decay: float = 0.7, floor: float = 0.3) -> None:
+        if not 0.0 < decay < 1.0:
+            raise ValueError("health decay must be in (0, 1)")
+        if not 0.0 <= floor < 1.0:
+            raise ValueError("health floor must be in [0, 1)")
+        self.decay = decay
+        self.floor = floor
+        self._lock = threading.Lock()
+        self._score = 1.0
+
+    @property
+    def score(self) -> float:
+        with self._lock:
+            return self._score
+
+    def record(self, ok: bool) -> None:
+        with self._lock:
+            self._score = self.decay * self._score + (1.0 - self.decay) * (
+                1.0 if ok else 0.0
+            )
+
+    def below_floor(self) -> bool:
+        with self._lock:
+            return self._score < self.floor
+
+    def reset(self) -> None:
+        """Restart optimism: a fresh entity starts perfectly healthy."""
+        with self._lock:
+            self._score = 1.0
 
 
 class CircuitBreaker:
@@ -169,7 +212,7 @@ class FleetSupervisor:
         self._lock = threading.Lock()
         self._failures: Dict[str, int] = {}
         self._quarantined: Dict[str, str] = {}  # content hash -> first error
-        self._health = 1.0
+        self._health = EwmaHealth(decay=health_decay, floor=health_floor)
         self.evictions = 0
 
     # ------------------------------------------------------------------
@@ -225,8 +268,7 @@ class FleetSupervisor:
     # ------------------------------------------------------------------
     @property
     def health(self) -> float:
-        with self._lock:
-            return self._health
+        return self._health.score
 
     def record_worker_outcome(self, ok: bool) -> None:
         """Fold one worker outcome into the EWMA health score.
@@ -235,30 +277,25 @@ class FleetSupervisor:
         result, including a faulty diagnosis.  Crashes, hangs and broken
         pools count against health.
         """
-        with self._lock:
-            self._health = (
-                self.health_decay * self._health
-                + (1.0 - self.health_decay) * (1.0 if ok else 0.0)
-            )
+        self._health.record(ok)
 
     def should_evict(self) -> bool:
         """True when the pool's health warrants an eviction + restart."""
-        with self._lock:
-            return self._health < self.health_floor
+        return self._health.below_floor()
 
     def record_eviction(self) -> None:
         """The engine restarted the pool; reset the score optimistically."""
+        self._health.reset()
         with self._lock:
-            self._health = 1.0
             self.evictions += 1
         if self.telemetry is not None:
             self.telemetry.incr("worker_evictions")
             self.telemetry.event("worker_evicted")
 
     def snapshot(self) -> Dict:
+        health = self._health.score
         with self._lock:
             quarantined = len(self._quarantined)
-            health = self._health
         return {
             "health": round(health, 4),
             "evictions": self.evictions,

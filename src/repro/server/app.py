@@ -12,7 +12,11 @@ diagnosis over HTTP/JSON (stdlib asyncio only):
   engine's worker pool → results in job order;
 * ``GET /healthz``      — liveness;
 * ``GET /readyz``       — readiness (503 while draining);
-* ``GET /metrics``      — telemetry + cache + admission-queue snapshot.
+* ``GET /metrics``      — telemetry + cache + admission-queue snapshot
+  (``?samples=1`` adds percentile reservoirs for cluster aggregation);
+* ``GET/POST /v1/experience`` — the gossip surface: read the engine's
+  shared :class:`~repro.core.learning.ExperienceBase`, or merge a peer
+  replica's delta into it (noisy-or ``merge()`` semantics).
 
 Operational behaviour, in one place:
 
@@ -343,7 +347,14 @@ class DiagnosisServer:
         if path == "/metrics":
             if method != "GET":
                 raise HttpError(405, "use GET", {"Allow": "GET"})
-            return 200, self._metrics(), {}
+            samples = request.query.get("samples", "") in ("1", "true", "yes")
+            return 200, self._metrics(samples=samples), {}
+        if path == "/v1/experience":
+            if method == "GET":
+                return 200, self.engine.experience_snapshot(), {}
+            if method == "POST":
+                return self._handle_experience_merge(request, request_id)
+            raise HttpError(405, "use GET or POST", {"Allow": "GET, POST"})
         if path == "/v1/diagnose":
             if method != "POST":
                 raise HttpError(405, "use POST", {"Allow": "POST"})
@@ -357,7 +368,7 @@ class DiagnosisServer:
     def _uptime(self) -> float:
         return round(time.monotonic() - self._started, 3)
 
-    def _metrics(self) -> Dict:
+    def _metrics(self, samples: bool = False) -> Dict:
         return {
             "server": {
                 "uptime_seconds": self._uptime(),
@@ -373,7 +384,7 @@ class DiagnosisServer:
                 else None
             ),
             "experience_rules": len(self.engine.experience),
-            "telemetry": self.telemetry.snapshot(),
+            "telemetry": self.telemetry.snapshot(samples=samples),
         }
 
     def _reject_if_draining(self) -> None:
@@ -401,6 +412,32 @@ class DiagnosisServer:
             # is the partial (uncached) result — a 504 with substance.
             return 504, payload, {}
         return 200, payload, {}
+
+    def _handle_experience_merge(
+        self, request: HttpRequest, request_id: str
+    ) -> Tuple[int, object, Dict[str, str]]:
+        """Gossip sink: merge a peer's experience delta into the engine.
+
+        Accepts an :meth:`~repro.core.learning.ExperienceBase.to_dict`
+        payload (the cluster gateway posts per-round deltas) and merges
+        it with the existing noisy-or semantics.  Runs inline — the
+        merge is a small in-memory fold, not diagnosis work — so gossip
+        never competes with requests for admission slots.
+        """
+        self._reject_if_draining()
+        data = request.json()
+        if not isinstance(data, dict) or not isinstance(data.get("rules"), list):
+            raise HttpError(400, "experience payload needs a 'rules' list")
+        try:
+            merged = self.engine.absorb_experience(data)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise HttpError(400, f"bad experience payload: {exc}") from None
+        self.telemetry.incr("gossip_merges")
+        return 200, {
+            "request_id": request_id,
+            "merged_rules": merged,
+            "rules": len(self.engine.experience),
+        }, {}
 
     async def _handle_batch(
         self, request: HttpRequest, request_id: str

@@ -1,10 +1,11 @@
 """A blocking HTTP client for the diagnosis server, with retries.
 
 :class:`DiagnosisClient` is the reference consumer of the server API —
-the tests, the smoke script and the throughput benchmark all drive the
-server through it.  Built on :mod:`http.client` (stdlib, blocking) so
-callers need no event loop; the connection is kept open across calls
-and transparently re-opened after a drop.
+the tests, the smoke script, the throughput benchmark and the cluster
+gateway all drive servers through it.  Built on :mod:`http.client`
+(stdlib, blocking) so callers need no event loop; one connection per
+endpoint is kept open across calls and transparently re-opened after a
+drop.
 
 Retry policy: ``503 Service Unavailable`` (load shed) and transport
 errors (connection refused/reset, timeouts) are retried with
@@ -17,6 +18,16 @@ so tests pin a seed and the schedule is deterministic.  Any other
 non-2xx answer raises immediately —
 :class:`ClientError` carries the status and the server's JSON error
 body, so a 400 tells you exactly which field was malformed.
+
+Multi-endpoint mode: constructed with ``base_urls`` (or handed an
+explicit ``endpoints`` order per request — the cluster gateway passes
+the hash ring's preference list), the client *fails over*: each retry
+attempt rotates to the next endpoint instead of re-hitting the one
+that just refused, and a failed endpoint's pooled socket is discarded
+so a later attempt never reuses a connection to a server that already
+dropped it.  The ``Retry-After`` floor only applies when the next
+attempt targets the same endpoint that issued the hint — a different
+replica is not the one that asked for breathing room.
 
 Every logical request mints one ``X-Request-Id`` and sends it on
 *every* retry attempt; the server honours it as the request id and the
@@ -32,9 +43,30 @@ import random
 import socket
 import time
 import uuid
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 __all__ = ["DiagnosisClient", "ClientError", "ServerUnavailable"]
+
+#: An endpoint as the client keys it internally: ``(host, port)``.
+Endpoint = Tuple[str, int]
+
+
+def _parse_endpoint(spec: object) -> Endpoint:
+    """``"host:port"`` / ``"http://host:port"`` / ``(host, port)`` → (host, port)."""
+    if isinstance(spec, tuple):
+        host, port = spec
+        return str(host), int(port)
+    text = str(spec)
+    if text.startswith("http://"):
+        text = text[len("http://"):]
+    text = text.rstrip("/")
+    host, _, raw_port = text.rpartition(":")
+    if not host or not raw_port:
+        raise ValueError(f"endpoint must look like 'host:port', got {spec!r}")
+    try:
+        return host, int(raw_port)
+    except ValueError:
+        raise ValueError(f"bad endpoint port in {spec!r}") from None
 
 
 class ClientError(Exception):
@@ -66,7 +98,10 @@ class DiagnosisClient:
     """Connection-reusing JSON client with exponential-backoff retries.
 
     Args:
-        host/port: where the server listens.
+        host/port: where the server listens (single-endpoint mode).
+        base_urls: multiple server endpoints (``"host:port"`` strings or
+            ``(host, port)`` tuples); retry attempts rotate across them.
+            Overrides ``host``/``port`` when given.
         timeout: socket timeout per attempt, seconds.
         retries: extra attempts after the first (0 = fail fast).
         backoff: base delay, seconds; attempt *n* waits a uniform draw
@@ -86,33 +121,57 @@ class DiagnosisClient:
         backoff: float = 0.1,
         max_delay: float = 2.0,
         rng: Optional[random.Random] = None,
+        base_urls: Optional[Sequence[object]] = None,
     ) -> None:
-        self.host = host
-        self.port = port
+        if base_urls:
+            self.endpoints: List[Endpoint] = [_parse_endpoint(u) for u in base_urls]
+        else:
+            self.endpoints = [(host, int(port))]
+        # Single-endpoint attribute compatibility (tests, error text).
+        self.host, self.port = self.endpoints[0]
         self.timeout = timeout
         self.retries = max(0, int(retries))
         self.backoff = backoff
         self.max_delay = max_delay
         self.rng = rng if rng is not None else random.Random()
-        self._conn: Optional[http.client.HTTPConnection] = None
+        self._conns: Dict[Endpoint, http.client.HTTPConnection] = {}
         self.attempts_made = 0  # lifetime request attempts (visible to tests)
+        self.last_endpoint: Optional[Endpoint] = None  # who answered last
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
-    def _connection(self) -> http.client.HTTPConnection:
-        if self._conn is None:
-            self._conn = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
+    def _connection(self, endpoint: Endpoint) -> http.client.HTTPConnection:
+        conn = self._conns.get(endpoint)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                endpoint[0], endpoint[1], timeout=self.timeout
             )
-        return self._conn
+            self._conns[endpoint] = conn
+        return conn
 
-    def _drop_connection(self) -> None:
-        if self._conn is not None:
-            try:
-                self._conn.close()
-            finally:
-                self._conn = None
+    def _drop_connection(self, endpoint: Optional[Endpoint] = None) -> None:
+        """Discard pooled socket(s) — all of them, or one failed endpoint's.
+
+        A socket that just raised (or whose server said ``Connection:
+        close``) must never be retried: the next attempt to that
+        endpoint opens fresh.
+        """
+        targets = [endpoint] if endpoint is not None else list(self._conns)
+        for key in targets:
+            conn = self._conns.pop(key, None)
+            if conn is not None:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def retain_endpoints(self, endpoints: Sequence[object]) -> None:
+        """Close pooled sockets to endpoints no longer in the fleet."""
+        keep = {_parse_endpoint(e) for e in endpoints}
+        for key in list(self._conns):
+            if key not in keep:
+                self._drop_connection(key)
 
     def close(self) -> None:
         self._drop_connection()
@@ -129,6 +188,7 @@ class DiagnosisClient:
         path: str,
         payload: Optional[object] = None,
         retry_503: bool = True,
+        endpoints: Optional[Sequence[object]] = None,
     ) -> Dict:
         body = None
         # One id per *logical* request, reused verbatim across retry
@@ -138,51 +198,79 @@ class DiagnosisClient:
         if payload is not None:
             body = json.dumps(payload).encode()
             headers["Content-Type"] = "application/json"
+        targets = (
+            [_parse_endpoint(e) for e in endpoints] if endpoints else self.endpoints
+        )
         last_error: Optional[Exception] = None
+        last_error_endpoint: Optional[Endpoint] = None
         for attempt in range(self.retries + 1):
+            # Ring-aware rotation: the first attempt goes to the
+            # preferred endpoint; each retry advances to the next.
+            target = targets[attempt % len(targets)]
             if attempt:
-                time.sleep(self._delay(attempt - 1, last_error))
+                time.sleep(
+                    self._delay(
+                        attempt - 1,
+                        last_error,
+                        honour_hint=(target == last_error_endpoint),
+                    )
+                )
             self.attempts_made += 1
             try:
-                conn = self._connection()
+                conn = self._connection(target)
                 conn.request(method, path, body=body, headers=headers)
                 response = conn.getresponse()
                 raw = response.read()
             except (OSError, http.client.HTTPException, socket.timeout) as exc:
-                self._drop_connection()
+                self._drop_connection(target)
                 last_error = exc
+                last_error_endpoint = target
                 continue
             data = self._decode(raw)
             if response.status == 503 and retry_503:
                 last_error = ClientError(503, data)
+                last_error_endpoint = target
                 retry_after = response.getheader("Retry-After")
                 if retry_after is not None:
                     last_error.retry_after = retry_after  # type: ignore[attr-defined]
                 if response.getheader("Connection", "").lower() == "close":
-                    self._drop_connection()
+                    self._drop_connection(target)
                 continue
             if response.status >= 400:
+                self.last_endpoint = target
                 raise ClientError(response.status, data)
+            self.last_endpoint = target
             return data
         if isinstance(last_error, ClientError):
             raise ServerUnavailable(
                 f"server still overloaded after {self.retries + 1} attempts",
                 last_error.payload,
             )
+        where = (
+            f"{self.host}:{self.port}"
+            if len(targets) == 1
+            else "/".join(f"{h}:{p}" for h, p in targets)
+        )
         raise ServerUnavailable(
-            f"cannot reach {self.host}:{self.port} after {self.retries + 1} attempts: "
-            f"{last_error}"
+            f"cannot reach {where} after {self.retries + 1} attempts: {last_error}"
         )
 
-    def _delay(self, completed_attempts: int, last_error: Optional[Exception]) -> float:
+    def _delay(
+        self,
+        completed_attempts: int,
+        last_error: Optional[Exception],
+        honour_hint: bool = True,
+    ) -> float:
         # Full jitter: draw uniformly from [0, backoff * 2**n].  A fleet
         # of clients retrying the same overloaded server spreads out
         # instead of arriving in synchronised waves.
         ceiling = min(self.backoff * (2 ** completed_attempts), self.max_delay)
         delay = self.rng.uniform(0.0, ceiling)
-        hint = getattr(last_error, "retry_after", None)
+        hint = getattr(last_error, "retry_after", None) if honour_hint else None
         if hint is not None:
-            # The server's Retry-After is a floor, not a suggestion.
+            # The server's Retry-After is a floor, not a suggestion —
+            # but only for the server that asked; a failover attempt to
+            # a *different* replica owes it nothing.
             try:
                 delay = max(delay, float(hint))
             except ValueError:
@@ -203,22 +291,45 @@ class DiagnosisClient:
     def health(self) -> Dict:
         return self._request("GET", "/healthz")
 
-    def ready(self) -> Dict:
+    def ready(self, endpoints: Optional[Sequence[object]] = None) -> Dict:
         """Readiness probe; raises :class:`ClientError` 503 while draining."""
-        return self._request("GET", "/readyz", retry_503=False)
+        return self._request("GET", "/readyz", retry_503=False, endpoints=endpoints)
 
-    def metrics(self) -> Dict:
-        return self._request("GET", "/metrics")
+    def metrics(
+        self, samples: bool = False, endpoints: Optional[Sequence[object]] = None
+    ) -> Dict:
+        """The telemetry snapshot; ``samples=True`` includes percentile
+        reservoirs (what the gateway aggregates across replicas)."""
+        path = "/metrics?samples=1" if samples else "/metrics"
+        return self._request("GET", path, endpoints=endpoints)
 
-    def diagnose(self, spec: Dict, trace: bool = False) -> Dict:
+    def diagnose(
+        self,
+        spec: Dict,
+        trace: bool = False,
+        endpoints: Optional[Sequence[object]] = None,
+    ) -> Dict:
         """POST one job spec (the batch-manifest job shape) → JobResult dict.
 
         ``trace=True`` asks the server for the engine's span tree
-        (returned under the result's ``"trace"`` key).
+        (returned under the result's ``"trace"`` key).  ``endpoints``
+        overrides the target order for this request (ring failover).
         """
         path = "/v1/diagnose?trace=1" if trace else "/v1/diagnose"
-        return self._request("POST", path, spec)
+        return self._request("POST", path, spec, endpoints=endpoints)
 
-    def batch(self, specs: List[Dict]) -> Dict:
+    def batch(
+        self, specs: List[Dict], endpoints: Optional[Sequence[object]] = None
+    ) -> Dict:
         """POST a list of job specs → results in job order."""
-        return self._request("POST", "/v1/batch", {"jobs": list(specs)})
+        return self._request("POST", "/v1/batch", {"jobs": list(specs)}, endpoints=endpoints)
+
+    def experience(self, endpoints: Optional[Sequence[object]] = None) -> Dict:
+        """GET the replica's shared :class:`ExperienceBase` as plain data."""
+        return self._request("GET", "/v1/experience", endpoints=endpoints)
+
+    def merge_experience(
+        self, data: Dict, endpoints: Optional[Sequence[object]] = None
+    ) -> Dict:
+        """POST an experience delta for the replica to merge (gossip)."""
+        return self._request("POST", "/v1/experience", data, endpoints=endpoints)

@@ -35,6 +35,7 @@ chaos tests exercise every one of those paths deterministically.
 from __future__ import annotations
 
 import logging
+import threading
 import time
 import traceback
 from concurrent.futures import (
@@ -331,6 +332,7 @@ class FleetEngine:
         self.cache = cache if cache is not None else ResultCache(cache_size)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.experience = experience if experience is not None else ExperienceBase()
+        self._experience_lock = threading.Lock()
         self.tracing = bool(tracing)
         self.supervisor = supervisor
         if supervisor is not None and supervisor.telemetry is None:
@@ -353,13 +355,13 @@ class FleetEngine:
         tel.incr("batches")
         tel.incr("jobs_submitted", len(jobs))
 
-        with tel.phase("hash"):
+        with tel.phase("fleet.hash"):
             hashes = [job.content_hash for job in jobs]
 
         results: Dict[int, JobResult] = {}
         leaders: Dict[str, int] = {}
         followers: Dict[str, List[int]] = {}
-        with tel.phase("cache"):
+        with tel.phase("fleet.cache"):
             for index, (job, key) in enumerate(zip(jobs, hashes)):
                 if self.supervisor is not None and self.supervisor.is_quarantined(key):
                     results[index] = self._quarantined_result(job, key)
@@ -372,7 +374,7 @@ class FleetEngine:
                 else:
                     leaders[key] = index
 
-        with tel.phase("execute"):
+        with tel.phase("fleet.execute"):
             executed = self._execute({key: jobs[i] for key, i in leaders.items()})
 
         for key, index in leaders.items():
@@ -392,7 +394,7 @@ class FleetEngine:
 
         ordered = [results[i] for i in range(len(jobs))]
 
-        with tel.phase("merge"):
+        with tel.phase("fleet.merge"):
             learned = self._merge_experience(jobs, ordered)
 
         for res in ordered:
@@ -701,6 +703,27 @@ class FleetEngine:
             component, mode = job.confirm
             batch.record(Episode(SymptomSignature.from_list(entries), component, mode))
         if len(batch):
-            self.experience.merge(batch)
+            with self._experience_lock:
+                self.experience.merge(batch)
             self.telemetry.incr("episodes_recorded", batch.episode_count)
         return len(batch)
+
+    def experience_snapshot(self) -> Dict:
+        """The shared base as plain data (the server's gossip endpoint)."""
+        with self._experience_lock:
+            return self.experience.to_dict()
+
+    def absorb_experience(self, data: Dict) -> int:
+        """Merge a peer replica's experience delta into the shared base.
+
+        ``data`` is an :meth:`ExperienceBase.to_dict` payload (typically
+        a gossip *delta*: only the occurrences a peer learned since the
+        last round).  Returns the number of rules in the delta; merge
+        semantics are the existing noisy-or :meth:`ExperienceBase.merge`.
+        """
+        delta = ExperienceBase.from_dict(data)
+        if len(delta):
+            with self._experience_lock:
+                self.experience.merge(delta)
+            self.telemetry.incr("experience_absorbed_rules", len(delta))
+        return len(delta)

@@ -16,6 +16,14 @@ plus a bounded **event log** of structured dicts for per-job forensics.
 ``snapshot()`` returns everything as plain data (JSON-safe);
 ``summary()`` renders the human-readable digest the batch CLI prints.
 
+Cluster aggregation: ``snapshot(samples=True)`` includes each
+observation stream's raw percentile reservoir, and
+:meth:`Telemetry.merge` folds a set of such snapshots (one per replica)
+into a single fleet-wide snapshot — counters and phase times summed,
+observation percentiles recomputed from the *combined* reservoirs.
+Merging always starts from the replicas' latest cumulative snapshots,
+so polling repeatedly never double-counts.
+
 Phases are measured with the same :class:`~repro.runtime.spans.Span`
 primitive the engine's :class:`~repro.runtime.context.RunContext` uses,
 and :meth:`Telemetry.record_trace` folds an engine span tree into the
@@ -28,7 +36,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.runtime.spans import Span
 
@@ -134,7 +142,7 @@ class Telemetry:
         with self._lock:
             return self._counters.get(name, 0)
 
-    def _observation_entry(self, name: str) -> Dict:
+    def _observation_entry(self, name: str, samples: bool = False) -> Dict:
         c, t, lo, hi = self._observations[name]
         entry = {
             "count": int(c),
@@ -147,15 +155,23 @@ class Telemetry:
         if ordered:
             for label, q in PERCENTILES:
                 entry[label] = percentile(ordered, q)
+        if samples:
+            entry["samples"] = list(self._samples.get(name, ()))
         return entry
 
-    def snapshot(self) -> Dict:
-        """Everything as a JSON-safe dict."""
+    def snapshot(self, samples: bool = False) -> Dict:
+        """Everything as a JSON-safe dict.
+
+        ``samples=True`` includes each observation's raw reservoir under
+        ``"samples"`` so an aggregator (the cluster gateway) can merge
+        percentiles across processes instead of averaging averages.
+        """
         with self._lock:
             return {
                 "counters": dict(self._counters),
                 "observations": {
-                    name: self._observation_entry(name) for name in self._observations
+                    name: self._observation_entry(name, samples=samples)
+                    for name in self._observations
                 },
                 "phases": {
                     name: {"seconds": secs, "entries": int(n)}
@@ -163,6 +179,69 @@ class Telemetry:
                 },
                 "events": list(self._events),
             }
+
+    @staticmethod
+    def merge(snapshots: "Sequence[Dict]", max_events: int = 256) -> Dict:
+        """Fold telemetry snapshots from several processes into one.
+
+        Input snapshots are cumulative per source (each replica's
+        counters only grow), so aggregating the *latest* snapshot per
+        source — what the gateway's ``/metrics`` does — never double
+        counts.  Counters and phase accumulators are summed;
+        observation streams combine count/total/min/max exactly and
+        recompute p50/p95/p99 from the concatenated reservoirs when the
+        sources were snapshotted with ``samples=True`` (percentiles are
+        omitted otherwise — merging per-source percentiles would be
+        statistically meaningless).  Events interleave in input order,
+        bounded by ``max_events``.
+        """
+        counters: Dict[str, float] = {}
+        observations: Dict[str, Dict] = {}
+        reservoirs: Dict[str, List[float]] = {}
+        sampled: Dict[str, bool] = {}
+        phases: Dict[str, List[float]] = {}
+        events: List[Dict] = []
+        for snap in snapshots:
+            if not snap:
+                continue
+            for name, value in (snap.get("counters") or {}).items():
+                counters[name] = counters.get(name, 0) + value
+            for name, obs in (snap.get("observations") or {}).items():
+                merged = observations.get(name)
+                if merged is None:
+                    merged = observations[name] = {
+                        "count": 0, "total": 0.0,
+                        "min": obs["min"], "max": obs["max"],
+                    }
+                    sampled[name] = True
+                merged["count"] += int(obs.get("count", 0))
+                merged["total"] += float(obs.get("total", 0.0))
+                merged["min"] = min(merged["min"], obs["min"])
+                merged["max"] = max(merged["max"], obs["max"])
+                if "samples" in obs:
+                    reservoirs.setdefault(name, []).extend(obs["samples"])
+                else:
+                    sampled[name] = False
+            for name, info in (snap.get("phases") or {}).items():
+                bucket = phases.setdefault(name, [0.0, 0])
+                bucket[0] += float(info.get("seconds", 0.0))
+                bucket[1] += int(info.get("entries", 0))
+            events.extend(snap.get("events") or ())
+        for name, merged in observations.items():
+            merged["mean"] = merged["total"] / merged["count"] if merged["count"] else 0.0
+            ordered = sorted(reservoirs.get(name, ())) if sampled.get(name) else []
+            if ordered:
+                for label, q in PERCENTILES:
+                    merged[label] = percentile(ordered, q)
+        return {
+            "counters": counters,
+            "observations": observations,
+            "phases": {
+                name: {"seconds": secs, "entries": int(n)}
+                for name, (secs, n) in phases.items()
+            },
+            "events": events[-max_events:],
+        }
 
     def summary(self, title: str = "telemetry") -> str:
         """Human-readable digest (counters, phase times, observations)."""

@@ -1,0 +1,122 @@
+"""Tests for the gossip ledger: no echo, retries, epoch re-seed."""
+
+import json
+
+import pytest
+
+from repro.cluster.gossip import ExperienceGossip
+from repro.core.learning import Episode, ExperienceBase, SymptomSignature
+
+SIG_A = (("V(mid)", "slight", 1),)
+SIG_B = (("V(out)", "conflict", -1),)
+
+
+def snapshot_with(*episodes, base_certainty=0.6):
+    """An ExperienceBase dict containing the given (sig, component) episodes."""
+    base = ExperienceBase(base_certainty=base_certainty)
+    for entries, component in episodes:
+        base.record(Episode(SymptomSignature(entries), component))
+    return base.to_dict()
+
+
+class TestObserve:
+    def test_first_snapshot_is_all_new(self):
+        gossip = ExperienceGossip()
+        fresh = gossip.observe("r0", 1, snapshot_with((SIG_A, "R1"), (SIG_A, "R1")))
+        assert fresh == 2  # one rule, two occurrences
+        assert gossip.rule_count() == 1
+
+    def test_reobserving_the_same_snapshot_adds_nothing(self):
+        gossip = ExperienceGossip()
+        snap = snapshot_with((SIG_A, "R1"))
+        assert gossip.observe("r0", 1, snap) == 1
+        assert gossip.observe("r0", 1, snap) == 0
+        assert gossip.export()["rules"][0]["occurrences"] == 1
+
+    def test_two_replicas_same_rule_accumulates(self):
+        gossip = ExperienceGossip()
+        gossip.observe("r0", 1, snapshot_with((SIG_A, "R1")))
+        gossip.observe("r1", 1, snapshot_with((SIG_A, "R1")))
+        assert gossip.export()["rules"][0]["occurrences"] == 2
+
+    def test_episode_totals_track_deltas(self):
+        gossip = ExperienceGossip()
+        gossip.observe("r0", 1, snapshot_with((SIG_A, "R1"), (SIG_B, "R2")))
+        gossip.observe("r0", 1, snapshot_with((SIG_A, "R1"), (SIG_B, "R2")))
+        assert gossip.snapshot()["episodes"] == 2
+
+
+class TestDelivery:
+    def test_source_replica_owes_nothing(self):
+        # Echo-free: what a replica reported must never be sent back.
+        gossip = ExperienceGossip()
+        gossip.observe("r0", 1, snapshot_with((SIG_A, "R1")))
+        assert gossip.pending("r0") is None
+        delta = gossip.pending("r1")
+        assert delta is not None and delta["rules"][0]["occurrences"] == 1
+
+    def test_delivered_delta_stops_pending(self):
+        gossip = ExperienceGossip()
+        gossip.observe("r0", 1, snapshot_with((SIG_A, "R1")))
+        delta = gossip.pending("r1")
+        gossip.mark_delivered("r1", delta)
+        assert gossip.pending("r1") is None
+
+    def test_merged_counts_reported_back_are_not_new(self):
+        # After r1 merges the delivered delta, its next snapshot includes
+        # those occurrences — they must not count as fresh evidence.
+        gossip = ExperienceGossip()
+        gossip.observe("r0", 1, snapshot_with((SIG_A, "R1")))
+        delta = gossip.pending("r1")
+        gossip.mark_delivered("r1", delta, epoch=1)
+        merged = ExperienceBase.from_dict(snapshot_with((SIG_A, "R1")))
+        assert gossip.observe("r1", 1, merged.to_dict()) == 0
+        assert gossip.export()["rules"][0]["occurrences"] == 1
+
+    def test_dropped_delivery_stays_pending(self):
+        # mark_delivered is only called on success; a dropped POST means
+        # the same delta is offered again next round.
+        gossip = ExperienceGossip()
+        gossip.observe("r0", 1, snapshot_with((SIG_A, "R1")))
+        first = gossip.pending("r1")
+        second = gossip.pending("r1")  # no mark_delivered in between
+        assert first == second
+
+    def test_delta_certainty_follows_repetition(self):
+        gossip = ExperienceGossip(base_certainty=0.6)
+        gossip.observe("r0", 1, snapshot_with((SIG_A, "R1"), (SIG_A, "R1"), (SIG_A, "R1")))
+        delta = gossip.pending("r1")
+        rule = delta["rules"][0]
+        assert rule["occurrences"] == 3
+        assert rule["certainty"] == pytest.approx(1.0 - 0.4**3)
+
+
+class TestEpochs:
+    def test_restart_reseeds_the_replica(self):
+        # A bumped epoch means a fresh, empty process: the full ledger
+        # becomes pending again, and its re-reports are fresh evidence.
+        gossip = ExperienceGossip()
+        gossip.observe("r0", 1, snapshot_with((SIG_A, "R1")))
+        delta = gossip.pending("r1")
+        gossip.mark_delivered("r1", delta)
+        assert gossip.pending("r1") is None
+        gossip.observe("r1", 2, {"base_certainty": 0.6, "episode_count": 0, "rules": []})
+        reseed = gossip.pending("r1")
+        assert reseed is not None and reseed["rules"][0]["occurrences"] == 1
+
+    def test_same_epoch_keeps_state(self):
+        gossip = ExperienceGossip()
+        gossip.observe("r0", 1, snapshot_with((SIG_A, "R1")))
+        gossip.observe("r0", 1, snapshot_with((SIG_A, "R1")))
+        assert gossip.export()["rules"][0]["occurrences"] == 1
+
+
+class TestExport:
+    def test_export_is_a_loadable_experience_base(self):
+        gossip = ExperienceGossip()
+        gossip.observe("r0", 1, snapshot_with((SIG_A, "R1"), (SIG_B, "R2")))
+        exported = json.loads(json.dumps(gossip.export()))
+        base = ExperienceBase.from_dict(exported)
+        assert len(base) == 2
+        components = {rule.component for rule in base.rules}
+        assert components == {"R1", "R2"}

@@ -99,6 +99,73 @@ class TestSlots:
         run(go())
 
 
+class TestConcurrentAdmission:
+    def test_storm_respects_every_bound_and_settles_clean(self):
+        """A burst far beyond capacity: concurrency stays capped, the
+        overflow is shed exactly, and the gauges return to zero."""
+
+        async def go():
+            workers, queue_size, burst = 3, 4, 40
+            q = AdmissionQueue(workers, queue_size)
+            running = 0
+            peak = 0
+            done = 0
+
+            async def request():
+                nonlocal running, peak, done
+                try:
+                    async with q.slot(mean_job_seconds=0.2):
+                        running += 1
+                        peak = max(peak, running)
+                        assert running <= workers  # the hard cap, observed
+                        assert q.waiting <= queue_size
+                        await asyncio.sleep(0.01)
+                        running -= 1
+                        done += 1
+                        return "ok"
+                except QueueFullError as err:
+                    assert err.retry_after >= 1
+                    return "shed"
+
+            outcomes = await asyncio.gather(*(request() for _ in range(burst)))
+            assert outcomes.count("ok") == q.admitted == done
+            assert outcomes.count("shed") == q.rejected == burst - q.admitted
+            # Everything beyond workers + queue_size outstanding at once
+            # was shed; with an instant burst that is the whole overflow.
+            assert q.admitted == workers + queue_size
+            assert peak == workers
+            depth = q.depth()
+            assert depth["active"] == 0 and depth["waiting"] == 0
+            assert depth["peak_active"] == workers
+            assert depth["peak_waiting"] <= queue_size
+
+        run(go())
+
+    def test_interleaved_waves_reuse_freed_slots(self):
+        """Slots freed by one wave must admit the next — shedding is a
+        point-in-time decision, not a death sentence."""
+
+        async def go():
+            q = AdmissionQueue(2, 2)
+
+            async def request():
+                try:
+                    async with q.slot():
+                        await asyncio.sleep(0.005)
+                        return "ok"
+                except QueueFullError:
+                    return "shed"
+
+            first = await asyncio.gather(*(request() for _ in range(8)))
+            assert first.count("ok") == 4
+            second = await asyncio.gather(*(request() for _ in range(8)))
+            assert second.count("ok") == 4  # prior rejections left no residue
+            assert q.admitted == 8
+            assert q.rejected == 8
+
+        run(go())
+
+
 class TestRetryAfter:
     def test_bounded_between_one_and_thirty(self):
         q = AdmissionQueue(2, 4)

@@ -453,7 +453,7 @@ class TestRequestIds:
     def test_client_reuses_one_id_across_retry_attempts(self):
         seen = []
         client = DiagnosisClient(port=1, retries=4, backoff=0.001, max_delay=0.002)
-        client._conn = _FakeConn([503, 503, 200], seen)
+        client._conns[("127.0.0.1", 1)] = _FakeConn([503, 503, 200], seen)
         assert client._request("GET", "/x") == {"status": "ok"}
         ids = [h["X-Request-Id"] for h in seen]
         assert len(ids) == 3  # two 503s retried, then success
