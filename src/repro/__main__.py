@@ -19,6 +19,10 @@ Commands:
   same API across ``--replicas N`` server subprocesses, with failover,
   replica supervision and experience gossip (see README "Cluster
   mode").
+* ``watch`` — streaming mode: simulate a unit live (optionally breaking
+  it mid-stream), feed the telemetry through the drift detector and
+  render each incremental re-diagnosis as it happens (see README
+  "Streaming mode").
 * ``simulate NETLIST`` — print the DC operating point of a netlist.
 * ``demo`` — the quickstart walk-through on the three-stage amplifier.
 """
@@ -240,6 +244,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "--cache-size", str(args.cache_size),
         "--timeout", str(args.timeout),
         "--retries", str(args.retries),
+        "--max-streams", str(args.max_streams),
+        "--heartbeat", str(args.heartbeat),
     ]
     if args.supervise:
         forwarded.append("--supervise")
@@ -273,6 +279,70 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     if args.replica_faults:
         forwarded.extend(["--replica-faults", args.replica_faults])
     return cluster_main(forwarded)
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.server.http import HttpError
+    from repro.server.stream import StreamSpec
+    from repro.service.telemetry import Telemetry
+
+    query = {
+        "circuit": args.circuit,
+        "size": str(args.size),
+        "nets": args.nets,
+        "fault": args.fault,
+        "fault_at": str(args.fault_at),
+        "duration": str(args.duration),
+        "dt": str(args.dt),
+        "imprecision": str(args.imprecision),
+        "noise": str(args.noise),
+        "seed": str(args.seed),
+        "kernel": args.kernel,
+        "threshold": str(args.threshold),
+        "hysteresis": str(args.hysteresis),
+        "epsilon": str(args.epsilon),
+        "top": str(args.top),
+        "tick_deadline": str(args.tick_deadline or 0),
+    }
+    try:
+        spec = StreamSpec.from_query(query)
+    except HttpError as exc:
+        print(f"bad watch options: {exc.message}", file=sys.stderr)
+        return 2
+    telemetry = Telemetry()
+    session = spec.build_session(telemetry)
+    assert session is not None
+    if not args.json:
+        fault = spec.fault.describe() if spec.fault else "none"
+        print(f"watching {spec.golden_circuit().name} "
+              f"({spec.duration:g}s @ dt={spec.dt:g}, fault: {fault}"
+              + (f" at t={spec.fault_at:g}s" if spec.fault else "") + ")")
+    saw_fault = False
+    for update in session.run():
+        saw_fault = saw_fault or not update.consistent
+        if args.json:
+            print(json.dumps(update.to_dict(), sort_keys=True), flush=True)
+            continue
+        kind = "incremental" if update.incremental else "cold"
+        line = (f"[{update.seq:3d}] t={update.t:.4g}s {kind} tick "
+                f"{update.tick_ms:.0f}ms")
+        if update.consistent:
+            line += " — consistent (unit looks healthy)"
+        else:
+            top = " ".join(f"{c}:{s:.2f}" for c, s in update.ranking)
+            line += f" — suspects: {top}"
+            if update.candidates:
+                shown = " ".join("+".join(c) for c in update.candidates[:3])
+                line += f"  [candidates: {shown}]"
+        if update.drifted:
+            line += f"  [drift: {','.join(update.drifted)}]"
+        if update.interrupted:
+            line += "  (partial: tick deadline hit)"
+        print(line, flush=True)
+    if not args.json:
+        print()
+        print(telemetry.summary(title="stream telemetry"))
+    return 1 if saw_fault else 0
 
 
 def _cmd_demo(_args: argparse.Namespace) -> int:
@@ -446,6 +516,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="extra attempts for crashed jobs (default 1)",
     )
     serve.add_argument(
+        "--max-streams", type=int, default=4,
+        help="concurrent /v1/stream SSE connections (default 4)",
+    )
+    serve.add_argument(
+        "--heartbeat", type=float, default=5.0,
+        help="SSE keep-alive cadence in seconds (default 5)",
+    )
+    serve.add_argument(
         "--supervise", action="store_true",
         help="engage the fleet supervisor (quarantine, health, breaker)",
     )
@@ -516,6 +594,80 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON fault plan forwarded to every replica subprocess",
     )
     cluster.set_defaults(func=_cmd_cluster)
+
+    watch = sub.add_parser(
+        "watch",
+        help="streaming mode: watch a live-simulated unit and re-diagnose "
+        "incrementally as it drifts",
+    )
+    watch.add_argument(
+        "--circuit", choices=["ladder", "rc"], default="ladder",
+        help="unit family: resistive ladder or dynamic RC low-pass (default ladder)",
+    )
+    watch.add_argument(
+        "--size", type=int, default=6,
+        help="ladder sections / RC stages (default 6)",
+    )
+    watch.add_argument(
+        "--nets", default="",
+        help="comma-separated nets to probe (default: every probe net)",
+    )
+    watch.add_argument(
+        "--fault", default="",
+        help="inject mid-stream: kind:component[:value], e.g. short:Rp3 "
+        "or param:Rs2:30e3 (default: none — a healthy run)",
+    )
+    watch.add_argument(
+        "--fault-at", dest="fault_at", type=float, default=0.0,
+        help="stream time at which the fault appears (default 0)",
+    )
+    watch.add_argument(
+        "--duration", type=float, default=0.01,
+        help="how long to observe, in simulated seconds (default 0.01)",
+    )
+    watch.add_argument(
+        "--dt", type=float, default=1e-3, help="sample period (default 1e-3)"
+    )
+    watch.add_argument(
+        "--imprecision", type=float, default=0.05,
+        help="instrument imprecision in volts (default 0.05)",
+    )
+    watch.add_argument(
+        "--noise", type=float, default=0.0,
+        help="Gaussian instrument noise sigma in volts (default 0)",
+    )
+    watch.add_argument(
+        "--seed", type=int, default=0, help="noise RNG seed (default 0)"
+    )
+    watch.add_argument(
+        "--kernel", choices=["reference", "fast"], default="fast",
+        help="engine substrate (default fast — streaming is latency-bound)",
+    )
+    watch.add_argument(
+        "--threshold", type=float, default=0.5,
+        help="EWMA discrepancy level that triggers a re-diagnosis (default 0.5)",
+    )
+    watch.add_argument(
+        "--hysteresis", type=float, default=0.2,
+        help="re-arm margin below the threshold (default 0.2)",
+    )
+    watch.add_argument(
+        "--epsilon", type=float, default=1e-3,
+        help="volts a reading must move to dirty its point (default 1e-3)",
+    )
+    watch.add_argument(
+        "--top", type=int, default=5,
+        help="ranked components shown per update (default 5)",
+    )
+    watch.add_argument(
+        "--tick-deadline", dest="tick_deadline", type=float, default=None,
+        help="per-re-diagnosis budget in seconds (default: unbounded)",
+    )
+    watch.add_argument(
+        "--json", action="store_true",
+        help="one JSON object per update (the SSE data schema) instead of text",
+    )
+    watch.set_defaults(func=_cmd_watch)
 
     demo = sub.add_parser("demo", help="diagnose a shorted resistor on the paper's amplifier")
     demo.set_defaults(func=_cmd_demo)

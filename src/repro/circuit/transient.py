@@ -68,7 +68,10 @@ class TransientSolver:
         dt: time step.
         initial: starting state — ``"dc"`` solves the t=0 operating
             point first (waveforms evaluated at t=0), ``"zero"`` starts
-            all capacitor voltages at zero.
+            all capacitor voltages at zero, and an explicit mapping of
+            capacitor name -> voltage resumes from a prior run's state
+            (missing capacitors start at zero; how the streaming plane's
+            live source carries state across a mid-stream fault swap).
     """
 
     def __init__(
@@ -76,12 +79,12 @@ class TransientSolver:
         circuit: Circuit,
         waveforms: Optional[Dict[str, Waveform]] = None,
         dt: float = 1e-4,
-        initial: str = "dc",
+        initial: "str | Dict[str, float]" = "dc",
     ) -> None:
         if dt <= 0:
             raise ValueError("dt must be positive")
-        if initial not in ("dc", "zero"):
-            raise ValueError("initial must be 'dc' or 'zero'")
+        if isinstance(initial, str) and initial not in ("dc", "zero"):
+            raise ValueError("initial must be 'dc', 'zero' or a capacitor-voltage map")
         circuit.validate(strict=False)
         self.circuit = circuit
         self.waveforms = dict(waveforms or {})
@@ -127,6 +130,8 @@ class TransientSolver:
 
     # ------------------------------------------------------------------
     def _initial_cap_voltages(self) -> Dict[str, float]:
+        if isinstance(self.initial, dict):
+            return {c.name: self.initial.get(c.name, 0.0) for c in self._capacitors}
         if self.initial == "zero" or not self._capacitors:
             return {c.name: 0.0 for c in self._capacitors}
         # The pre-step steady state: waveforms evaluated just *before* the

@@ -21,7 +21,11 @@ from repro.circuit.measurements import Measurement
 from repro.circuit.netlist import Circuit
 from repro.core.conflicts import RecognizedConflict
 from repro.core.predict import Prediction, predict_nominal
-from repro.core.propagation import PropagationResult, PropagatorConfig
+from repro.core.propagation import (
+    FuzzyPropagator,
+    PropagationResult,
+    PropagatorConfig,
+)
 from repro.fuzzy import Consistency, FuzzyInterval
 from repro.fuzzy.logic import TNorm, t_norm_min
 from repro.kernel import resolve_kernel
@@ -160,6 +164,7 @@ class Flames:
         self,
         measurements: Sequence[Measurement],
         ctx: Optional["RunContext"] = None,
+        propagator: Optional["FuzzyPropagator"] = None,
     ) -> DiagnosisResult:
         """Run the full conflict-recognition + candidate-generation cycle.
 
@@ -169,7 +174,22 @@ class Flames:
         and, when its tracing flag is on, collects a span tree on the
         returned result.  Without a context the call is unbounded and
         byte-identical to the pre-staged engine.
+
+        ``propagator`` (from :meth:`make_propagator`) runs the fixpoint
+        on a warm, reusable propagator: results are observationally
+        identical to a fresh run, but the fast kernel's memo caches
+        survive between calls — the streaming plane's incremental path.
         """
         from repro.runtime.pipeline import DiagnosisPipeline
 
-        return DiagnosisPipeline(self).run(measurements, ctx=ctx)
+        return DiagnosisPipeline(self).run(measurements, ctx=ctx, propagator=propagator)
+
+    def make_propagator(self) -> "FuzzyPropagator":
+        """A reusable propagator over this engine's network.
+
+        Pass it back into :meth:`diagnose` on every call to keep the
+        kernel warm across a stream of re-diagnoses (see README
+        "Streaming mode"); each run resets its values but keeps the
+        interned intervals and memoized projections.
+        """
+        return FuzzyPropagator(self.network, config=self.config.effective_propagator())

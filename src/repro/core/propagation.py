@@ -34,7 +34,12 @@ from repro.core.values import FuzzyValue
 from repro.fuzzy import FuzzyInterval
 from repro.kernel import CachedFuzzyOps, InternTable, ProjectionCache, resolve_kernel
 
-__all__ = ["FuzzyPropagator", "PropagatorConfig", "PropagationResult"]
+__all__ = [
+    "FuzzyPropagator",
+    "PropagatorConfig",
+    "PropagationResult",
+    "PropagatorState",
+]
 
 #: Sources whose entries are evidence or database predictions, never
 #: merged or narrowed — they must stay pristine for conflict attribution.
@@ -87,6 +92,31 @@ class PropagationResult:
     conflicts: List[RecognizedConflict] = field(default_factory=list)
     quiescent: bool = True
     interrupted: bool = False
+
+
+@dataclass(frozen=True)
+class PropagatorState:
+    """An immutable checkpoint of a propagator's established facts.
+
+    Captures everything :meth:`FuzzyPropagator.restore` needs to resume
+    computation from an earlier point: the per-variable value stores,
+    the recognised conflicts, the dedup fingerprints and the dirty
+    clock.  Stored entries are never mutated in place (merges replace
+    list slots), so shallow container copies are sufficient and a
+    checkpoint costs microseconds, not a deep traversal.  The fast
+    kernel's memo caches are deliberately *not* part of the state —
+    they cache pure functions, so sharing them across restores is what
+    makes resumed computation cheap.  The streaming plane's incremental
+    re-diagnosis (see ``repro.stream``) is built on this.
+    """
+
+    values: Dict[str, tuple]
+    seen: Dict[str, FrozenSet]
+    var_tick: Dict[str, int]
+    fired_at: Dict[int, int]
+    tick: int
+    conflicts: tuple
+    conflict_keys: FrozenSet
 
 
 class FuzzyPropagator:
@@ -149,6 +179,43 @@ class FuzzyPropagator:
             else:
                 value = FuzzyValue(var.seed, frozenset(), 1.0, "seed", from_seed=True)
             self._values[name] = [value]
+
+    def checkpoint(self) -> PropagatorState:
+        """Snapshot the established facts (values, conflicts, dedup state).
+
+        Restoring the snapshot with :meth:`restore` puts the propagator
+        back into exactly this state; because stored entries are
+        replaced rather than mutated, the snapshot shares them and only
+        copies the containers.
+        """
+        return PropagatorState(
+            values={name: tuple(stored) for name, stored in self._values.items()},
+            seen={name: frozenset(seen) for name, seen in self._seen.items()},
+            var_tick=dict(self._var_tick),
+            fired_at=dict(self._fired_at),
+            tick=self._tick,
+            conflicts=tuple(self._conflicts),
+            conflict_keys=frozenset(self._conflict_keys),
+        )
+
+    def restore(self, state: PropagatorState) -> None:
+        """Resume from a :meth:`checkpoint`.
+
+        The restored run is observationally identical to a fresh
+        propagator that replayed the same assertions — the fast
+        kernel's memo caches survive (they are pure-function caches),
+        which is why resuming is much cheaper than replaying.
+
+        A state is only meaningful to the propagator that produced it
+        (constraint firing stamps are keyed by constraint identity).
+        """
+        self._values = {name: list(stored) for name, stored in state.values.items()}
+        self._seen = {name: set(seen) for name, seen in state.seen.items()}
+        self._var_tick = dict(state.var_tick)
+        self._fired_at = dict(state.fired_at)
+        self._tick = state.tick
+        self._conflicts = list(state.conflicts)
+        self._conflict_keys = set(state.conflict_keys)
 
     def set_value(
         self,

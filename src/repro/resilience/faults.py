@@ -46,6 +46,12 @@ The recognised injection points:
 ``cluster.gossip_drop``   drop one gossip delivery (→ the experience delta is
                           retried on the next round; convergence survives a
                           lossy mesh)
+``stream.reading_drop``   drop one telemetry reading before ingest (→ the
+                          snapshot keeps the previous value for that net; the
+                          stream's final drain tick still converges)
+``stream.detector_misfire`` force a spurious drift trigger (→ one wasted but
+                          correct re-diagnosis; suppression counters stay
+                          consistent)
 ========================  ====================================================
 """
 
@@ -90,6 +96,8 @@ POINTS = (
     "server.io",
     "cluster.replica_kill",
     "cluster.gossip_drop",
+    "stream.reading_drop",
+    "stream.detector_misfire",
 )
 
 

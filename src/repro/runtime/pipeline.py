@@ -62,9 +62,21 @@ class DiagnosisPipeline:
         self.engine = engine
 
     def run(
-        self, measurements: Sequence[Measurement], ctx: Optional[RunContext] = None
+        self,
+        measurements: Sequence[Measurement],
+        ctx: Optional[RunContext] = None,
+        propagator: Optional[FuzzyPropagator] = None,
     ) -> "DiagnosisResult":
-        """Run every stage; always returns a well-formed result."""
+        """Run every stage; always returns a well-formed result.
+
+        ``propagator`` reuses a warm :class:`FuzzyPropagator` built by
+        :meth:`Flames.make_propagator` instead of constructing a fresh
+        one: the seed stage resets its *values* (so the run is
+        observationally identical to a cold run — the differential suite
+        in ``tests/stream`` pins this) while the fast kernel's
+        projection/op/intern memo caches persist across runs, which is
+        what makes streaming re-diagnosis incremental in compute.
+        """
         from repro.core.diagnosis import DiagnosisResult
 
         engine = self.engine
@@ -106,11 +118,19 @@ class DiagnosisPipeline:
                 )
 
             with ctx.span("seed"):
-                propagator = FuzzyPropagator(
-                    engine.network,
-                    on_conflict=on_conflict,
-                    config=config.effective_propagator(),
-                )
+                if propagator is None:
+                    propagator = FuzzyPropagator(
+                        engine.network,
+                        on_conflict=on_conflict,
+                        config=config.effective_propagator(),
+                    )
+                else:
+                    if propagator.network is not engine.network:
+                        raise ValueError(
+                            "reused propagator was built for a different network"
+                        )
+                    propagator.reset()
+                    propagator.on_conflict = on_conflict
                 # Database predictions first (so mode guards and coincidence
                 # checks see them), then the observations.
                 for name, prediction in nominal.items():

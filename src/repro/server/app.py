@@ -14,6 +14,13 @@ diagnosis over HTTP/JSON (stdlib asyncio only):
 * ``GET /readyz``       — readiness (503 while draining);
 * ``GET /metrics``      — telemetry + cache + admission-queue snapshot
   (``?samples=1`` adds percentile reservoirs for cluster aggregation);
+* ``GET /v1/stream``    — Server-Sent Events: a live-simulated unit
+  (optionally faulted mid-stream, see :mod:`repro.server.stream`) is
+  watched by a :class:`~repro.stream.session.StreamingSession` and each
+  incremental re-diagnosis is framed as an ``update`` event with a
+  per-connection monotonic ``id:``, interleaved with ``heartbeat``
+  events during quiet stretches and closed by a terminal ``end`` event
+  (``reason`` = ``complete`` or ``drain``);
 * ``GET/POST /v1/experience`` — the gossip surface: read the engine's
   shared :class:`~repro.core.learning.ExperienceBase`, or merge a peer
   replica's delta into it (noisy-or ``merge()`` semantics).
@@ -68,9 +75,12 @@ from repro.server.http import (
     HttpRequest,
     error_payload,
     read_request,
+    render_stream_head,
     write_response,
 )
 from repro.server.queueing import AdmissionQueue, QueueFullError
+from repro.server.stream import StreamRunner, StreamSpec
+from repro.stream.sse import format_event
 from repro.service import FleetEngine, ManifestError, job_from_spec
 from repro.service.jobs import DiagnosisJob
 
@@ -94,6 +104,8 @@ class ServerConfig:
     timeout: float = 30.0  # per-request budget, seconds
     retries: int = 1
     drain_grace: float = 30.0  # seconds to wait for in-flight work on shutdown
+    max_streams: int = 4  # concurrent /v1/stream connections
+    heartbeat: float = 5.0  # SSE keep-alive cadence during quiet stretches, seconds
     supervise: bool = False  # engage the FleetSupervisor (quarantine + breaker)
     faults: str = ""  # JSON FaultPlan armed server-wide (chaos testing only)
     verify_kernel: bool = False  # differential-check every fast-kernel run
@@ -105,6 +117,10 @@ class ServerConfig:
             raise ValueError("queue size must be non-negative")
         if self.timeout <= 0:
             raise ValueError("timeout must be positive")
+        if self.max_streams < 0:
+            raise ValueError("max_streams must be non-negative")
+        if self.heartbeat <= 0:
+            raise ValueError("heartbeat must be positive")
         if self.faults:
             FaultPlan.from_json(self.faults)  # fail fast on a bad plan
 
@@ -128,6 +144,12 @@ class DiagnosisServer:
         self._executor = ThreadPoolExecutor(
             max_workers=config.workers, thread_name_prefix="diagnose"
         )
+        # Streams are long-lived; giving them their own executor keeps a
+        # saturated stream fleet from starving one-shot diagnose slots.
+        self._stream_executor = ThreadPoolExecutor(
+            max_workers=max(1, config.max_streams), thread_name_prefix="stream"
+        )
+        self._streams_active = 0
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: set = set()
         self._inflight = 0
@@ -203,6 +225,7 @@ class DiagnosisServer:
         if connections:
             await asyncio.gather(*connections, return_exceptions=True)
         self._executor.shutdown(wait=drained)
+        self._stream_executor.shutdown(wait=drained)
         self.telemetry.event("server_drain_end", clean=drained)
         log.info(
             json.dumps(
@@ -264,6 +287,10 @@ class DiagnosisServer:
 
     async def _dispatch(self, request: HttpRequest, writer) -> bool:
         """Route one request, write one response; returns keep-alive."""
+        if request.path == "/v1/stream":
+            # SSE owns its writer (incremental frames, no Content-Length),
+            # so it bypasses the buffered request/response path entirely.
+            return await self._handle_stream(request, writer)
         request_id = self._request_id(request)
         started = time.perf_counter()
         self._inflight += 1
@@ -463,6 +490,142 @@ class DiagnosisServer:
         }
         return 200, payload, {}
 
+    # ------------------------------------------------------------------
+    # Streaming (SSE)
+    # ------------------------------------------------------------------
+    async def _handle_stream(self, request: HttpRequest, writer) -> bool:
+        """Serve one ``GET /v1/stream`` connection end to end.
+
+        Events carry a per-connection monotonic, gapless ``id:`` (the
+        smoke test asserts this), an ``update`` per re-diagnosis, a
+        ``heartbeat`` after each quiet ``config.heartbeat`` stretch, and
+        exactly one terminal ``end`` whose ``reason`` says why the
+        stream finished — ``complete`` (source exhausted) or ``drain``
+        (server shutting down; the session still gets its final drain
+        tick, so every reading ingested is reflected in the last
+        ranking before the goodbye).
+        """
+        request_id = self._request_id(request)
+        started = time.perf_counter()
+        try:
+            if request.method != "GET":
+                raise HttpError(405, "use GET", {"Allow": "GET"})
+            self._reject_if_draining()
+            if self._streams_active >= self.config.max_streams:
+                raise HttpError(
+                    503,
+                    f"at stream capacity ({self.config.max_streams})",
+                    {"Retry-After": "1"},
+                )
+            spec = StreamSpec.from_query(request.query)
+        except HttpError as exc:
+            self._log_stream(request_id, exc.status, 0, started)
+            try:
+                await write_response(
+                    writer,
+                    exc.status,
+                    error_payload(exc.status, exc.message, request_id),
+                    keep_alive=False,
+                    extra_headers={"X-Request-Id": request_id, **exc.headers},
+                )
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            return False
+
+        self._inflight += 1
+        self._idle.clear()
+        self._streams_active += 1
+        self.telemetry.gauge("streams_active", float(self._streams_active))
+        self.telemetry.incr("streams_opened")
+        events_sent = 0
+        try:
+            events_sent = await self._pump_stream(spec, writer, request_id)
+            self.telemetry.incr("streams_completed")
+        except (ConnectionResetError, BrokenPipeError):
+            self.telemetry.incr("streams_disconnected")
+        finally:
+            self._streams_active -= 1
+            self.telemetry.gauge("streams_active", float(self._streams_active))
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._idle.set()
+            self._log_stream(request_id, 200, events_sent, started)
+        return False  # Connection: close — SSE streams never keep-alive
+
+    async def _pump_stream(self, spec: StreamSpec, writer, request_id: str) -> int:
+        """Write head + events until the session ends; returns event count."""
+        session = spec.build_session(self.telemetry)
+        assert session is not None
+        runner = StreamRunner(session)
+        writer.write(render_stream_head({"X-Request-Id": request_id}))
+        await writer.drain()
+
+        loop = asyncio.get_running_loop()
+        producer = loop.run_in_executor(self._stream_executor, runner.produce)
+        seq = 0
+        last_sent = time.monotonic()
+        reason = "complete"
+
+        async def emit(event: str, data: Dict) -> None:
+            nonlocal seq, last_sent
+            writer.write(format_event(seq, event, data))
+            await writer.drain()
+            seq += 1
+            last_sent = time.monotonic()
+
+        try:
+            while True:
+                if self._draining and not runner.stopped:
+                    runner.stop()
+                    reason = "drain"
+                # Short poll so a drain request is observed promptly even
+                # while the producer is deep in a propagation fixpoint.
+                item = await runner.next_update(
+                    timeout=min(0.25, self.config.heartbeat)
+                )
+                if item is None:
+                    if time.monotonic() - last_sent >= self.config.heartbeat:
+                        await emit("heartbeat", {"request_id": request_id})
+                    continue
+                if StreamRunner.is_done(item):
+                    break
+                await emit("update", item.to_dict())
+        finally:
+            runner.stop()
+        # Wait for the producer thread to wind down before the goodbye so
+        # `end` is truly the last event and telemetry is fully flushed.
+        await producer
+        if runner.error is not None:
+            log.error("stream %s failed: %s", request_id, runner.error)
+            await emit(
+                "end",
+                {"reason": "error", "error": str(runner.error), "events": seq},
+            )
+            return seq
+        # Flush updates that raced the sentinel (none expected, but the
+        # zero-dropped-events guarantee should not hinge on scheduling).
+        for item in runner.pending():
+            await emit("update", item.to_dict())
+        await emit("end", {"reason": reason, "events": seq})
+        return seq
+
+    def _log_stream(
+        self, request_id: str, status: int, events: int, started: float
+    ) -> None:
+        log.info(
+            json.dumps(
+                {
+                    "request_id": request_id,
+                    "method": "GET",
+                    "path": "/v1/stream",
+                    "status": status,
+                    "events": events,
+                    "elapsed_ms": round((time.perf_counter() - started) * 1000, 3),
+                    "streams_active": self._streams_active,
+                }
+            )
+        )
+
     async def _admitted(self, fn, arg, ctx: Optional[RunContext] = None):
         """Run blocking engine work under admission control + timeout.
 
@@ -550,6 +713,14 @@ def build_parser() -> argparse.ArgumentParser:
         'e.g. \'{"seed": 0, "rules": [{"point": "server.io", "rate": 0.2}]}\'',
     )
     parser.add_argument(
+        "--max-streams", type=int, default=4,
+        help="concurrent /v1/stream connections (default 4)",
+    )
+    parser.add_argument(
+        "--heartbeat", type=float, default=5.0,
+        help="SSE keep-alive cadence in seconds (default 5)",
+    )
+    parser.add_argument(
         "--verify-kernel", action="store_true",
         help="differentially check every fast-kernel run against the "
         "reference engine (expensive; chaos/soak runs only)",
@@ -572,6 +743,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             supervise=args.supervise,
             faults=args.faults,
             verify_kernel=args.verify_kernel,
+            max_streams=args.max_streams,
+            heartbeat=args.heartbeat,
         )
     except ValueError as exc:
         print(f"bad server options: {exc}", flush=True)

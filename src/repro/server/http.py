@@ -28,6 +28,7 @@ __all__ = [
     "HttpRequest",
     "read_request",
     "render_response",
+    "render_stream_head",
     "write_response",
     "error_payload",
     "parse_response_bytes",
@@ -162,6 +163,24 @@ def render_response(
     for name, value in (extra_headers or {}).items():
         lines.append(f"{name}: {value}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def render_stream_head(extra_headers: Optional[Dict[str, str]] = None) -> bytes:
+    """The response head for a Server-Sent Events stream.
+
+    No ``Content-Length`` — the body is open-ended, so the connection
+    closes when the stream ends (``Connection: close``); events follow
+    as ``text/event-stream`` frames written incrementally.
+    """
+    lines = [
+        "HTTP/1.1 200 OK",
+        "Content-Type: text/event-stream; charset=utf-8",
+        "Cache-Control: no-store",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
 
 
 def error_payload(status: int, message: str, request_id: str = "") -> Dict:

@@ -6,6 +6,8 @@ collects three cheap primitives behind one lock:
 
 * **counters** — monotonically increasing totals (jobs run, cache
   hits, retries, nogoods found, ...);
+* **gauges** — last-written current values (active streams, chain
+  length, ...): ``gauge()`` overwrites where ``incr()`` accumulates;
 * **observations** — value streams summarised as count/total/min/max
   plus p50/p95/p99 percentiles over a bounded reservoir of recent
   values (per-job wall-clock, per-endpoint latency, ...);
@@ -65,6 +67,7 @@ class Telemetry:
     def __init__(self, max_events: int = 256, reservoir: int = 512) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
         self._observations: Dict[str, List[float]] = {}  # [count, total, min, max]
         self._samples: Dict[str, "deque[float]"] = {}  # recent values per stream
         self._reservoir = max(1, int(reservoir))
@@ -77,6 +80,16 @@ class Telemetry:
     def incr(self, name: str, amount: float = 1) -> None:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a gauge to its current value (overwrites, never sums)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge_add(self, name: str, delta: float) -> None:
+        """Adjust a gauge by ``delta`` (e.g. +1 on stream open, -1 on close)."""
+        with self._lock:
+            self._gauges[name] = self._gauges.get(name, 0.0) + delta
 
     def observe(self, name: str, value: float) -> None:
         with self._lock:
@@ -142,6 +155,10 @@ class Telemetry:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def gauge_value(self, name: str) -> float:
+        with self._lock:
+            return self._gauges.get(name, 0.0)
+
     def _observation_entry(self, name: str, samples: bool = False) -> Dict:
         c, t, lo, hi = self._observations[name]
         entry = {
@@ -169,6 +186,7 @@ class Telemetry:
         with self._lock:
             return {
                 "counters": dict(self._counters),
+                "gauges": dict(self._gauges),
                 "observations": {
                     name: self._observation_entry(name, samples=samples)
                     for name in self._observations
@@ -187,7 +205,11 @@ class Telemetry:
         Input snapshots are cumulative per source (each replica's
         counters only grow), so aggregating the *latest* snapshot per
         source — what the gateway's ``/metrics`` does — never double
-        counts.  Counters and phase accumulators are summed;
+        counts.  Counters and phase accumulators are summed.  Gauges
+        are summed too: each source's gauge is its *current* value, so
+        the fleet-wide current value of e.g. ``streams_active`` is the
+        sum over replicas (a fleet "last write wins" would be
+        meaningless across processes);
         observation streams combine count/total/min/max exactly and
         recompute p50/p95/p99 from the concatenated reservoirs when the
         sources were snapshotted with ``samples=True`` (percentiles are
@@ -196,6 +218,7 @@ class Telemetry:
         bounded by ``max_events``.
         """
         counters: Dict[str, float] = {}
+        gauges: Dict[str, float] = {}
         observations: Dict[str, Dict] = {}
         reservoirs: Dict[str, List[float]] = {}
         sampled: Dict[str, bool] = {}
@@ -206,6 +229,8 @@ class Telemetry:
                 continue
             for name, value in (snap.get("counters") or {}).items():
                 counters[name] = counters.get(name, 0) + value
+            for name, value in (snap.get("gauges") or {}).items():
+                gauges[name] = gauges.get(name, 0.0) + value
             for name, obs in (snap.get("observations") or {}).items():
                 merged = observations.get(name)
                 if merged is None:
@@ -235,6 +260,7 @@ class Telemetry:
                     merged[label] = percentile(ordered, q)
         return {
             "counters": counters,
+            "gauges": gauges,
             "observations": observations,
             "phases": {
                 name: {"seconds": secs, "entries": int(n)}
@@ -251,6 +277,12 @@ class Telemetry:
             lines.append("counters:")
             for name in sorted(snap["counters"]):
                 value = snap["counters"][name]
+                shown = int(value) if float(value).is_integer() else round(value, 4)
+                lines.append(f"  {name}: {shown}")
+        if snap.get("gauges"):
+            lines.append("gauges:")
+            for name in sorted(snap["gauges"]):
+                value = snap["gauges"][name]
                 shown = int(value) if float(value).is_integer() else round(value, 4)
                 lines.append(f"  {name}: {shown}")
         if snap["phases"]:
@@ -275,6 +307,7 @@ class Telemetry:
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._observations.clear()
             self._samples.clear()
             self._phases.clear()

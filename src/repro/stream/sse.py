@@ -1,0 +1,88 @@
+"""Server-Sent Events framing (RFC-less but interoperable).
+
+The ``GET /v1/stream`` endpoint speaks the W3C EventSource wire format:
+``id:`` carries the per-stream monotonic sequence number, ``event:``
+the event type, ``data:`` one JSON object.  The helpers here are shared
+by the server (formatting) and the tests/CLI (parsing) so both ends
+agree on one framing, and they are pure functions — no I/O.
+
+Event types:
+
+``update``     one :class:`~repro.stream.session.StreamUpdate` dict —
+               the ranking shifted (or the baseline/drain tick fired).
+``heartbeat``  keep-alive with the current stream clock; sent when no
+               update has been emitted for ``heartbeat_every`` events'
+               worth of readings so proxies don't reap the connection.
+``end``        final event; ``data.reason`` is ``"complete"`` (source
+               exhausted), ``"drain"`` (server shutting down) or
+               ``"limit"`` (event cap reached).
+
+Every event carries an ``id:`` line; consumers can therefore assert
+gapless, strictly monotonic sequence numbers — the stream smoke test
+does exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["format_event", "parse_events", "split_complete", "SSEEvent"]
+
+#: (seq, event type, decoded data)
+SSEEvent = Tuple[int, str, Dict]
+
+
+def format_event(seq: int, event: str, data: Dict) -> bytes:
+    """One wire-format SSE frame (UTF-8, terminated by a blank line)."""
+    if seq < 0:
+        raise ValueError("sequence numbers start at 0")
+    if "\n" in event or ":" in event:
+        raise ValueError(f"malformed event type {event!r}")
+    payload = json.dumps(data, separators=(",", ":"), sort_keys=True)
+    return f"id: {seq}\nevent: {event}\ndata: {payload}\n\n".encode("utf-8")
+
+
+def parse_events(raw: bytes) -> List[SSEEvent]:
+    """Decode a byte stream of frames back into (seq, event, data) triples.
+
+    Tolerates a trailing partial frame (it is ignored), per SSE's
+    incremental nature; use :func:`split_complete` when you need to
+    keep the remainder for the next read.
+    """
+    events, _rest = split_complete(raw)
+    return events
+
+
+def split_complete(raw: bytes) -> Tuple[List[SSEEvent], bytes]:
+    """Parse all complete frames; return them plus the unparsed tail."""
+    events: List[SSEEvent] = []
+    while True:
+        boundary = raw.find(b"\n\n")
+        if boundary < 0:
+            return events, raw
+        frame, raw = raw[:boundary], raw[boundary + 2 :]
+        parsed = _parse_frame(frame.decode("utf-8"))
+        if parsed is not None:
+            events.append(parsed)
+
+
+def _parse_frame(frame: str) -> Optional[SSEEvent]:
+    seq: Optional[int] = None
+    event = "message"
+    data_lines: List[str] = []
+    for line in frame.split("\n"):
+        if not line or line.startswith(":"):  # comment / keep-alive line
+            continue
+        field, _, value = line.partition(":")
+        value = value[1:] if value.startswith(" ") else value
+        if field == "id":
+            seq = int(value)
+        elif field == "event":
+            event = value
+        elif field == "data":
+            data_lines.append(value)
+    if seq is None and not data_lines:
+        return None
+    data = json.loads("\n".join(data_lines)) if data_lines else {}
+    return (-1 if seq is None else seq, event, data)

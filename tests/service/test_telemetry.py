@@ -141,3 +141,59 @@ class TestPercentiles:
         for v in (0.1, 0.2, 0.3):
             tel.observe("job_seconds", v)
         assert "p95=" in tel.summary()
+
+
+class TestGauges:
+    def test_gauge_overwrites(self):
+        tel = Telemetry()
+        tel.gauge("streams_active", 3.0)
+        tel.gauge("streams_active", 1.0)
+        assert tel.gauge_value("streams_active") == 1.0
+
+    def test_gauge_add_accumulates_deltas(self):
+        tel = Telemetry()
+        tel.gauge_add("streams_active", 1.0)
+        tel.gauge_add("streams_active", 1.0)
+        tel.gauge_add("streams_active", -1.0)
+        assert tel.gauge_value("streams_active") == 1.0
+
+    def test_unknown_gauge_reads_zero(self):
+        assert Telemetry().gauge_value("nope") == 0.0
+
+    def test_snapshot_carries_gauges(self):
+        tel = Telemetry()
+        tel.gauge("chain_length", 7.0)
+        snap = tel.snapshot()
+        assert snap["gauges"] == {"chain_length": 7.0}
+        json.dumps(snap)
+
+    def test_merge_sums_gauges_across_sources(self):
+        # Each source reports its *current* value; the fleet-wide current
+        # value is their sum (e.g. active streams per replica).
+        a, b = Telemetry(), Telemetry()
+        a.gauge("streams_active", 2.0)
+        b.gauge("streams_active", 1.0)
+        b.gauge("chain_length", 5.0)
+        merged = Telemetry.merge([a.snapshot(), b.snapshot()])
+        assert merged["gauges"] == {"streams_active": 3.0, "chain_length": 5.0}
+
+    def test_merge_tolerates_sources_without_gauges(self):
+        old_style = {"counters": {"jobs": 1}}  # pre-gauge snapshot shape
+        tel = Telemetry()
+        tel.gauge("streams_active", 1.0)
+        merged = Telemetry.merge([old_style, tel.snapshot()])
+        assert merged["gauges"] == {"streams_active": 1.0}
+
+    def test_summary_renders_gauges(self):
+        tel = Telemetry()
+        tel.gauge("streams_active", 2.0)
+        text = tel.summary()
+        assert "gauges" in text
+        assert "streams_active" in text
+
+    def test_reset_clears_gauges(self):
+        tel = Telemetry()
+        tel.gauge("streams_active", 2.0)
+        tel.reset()
+        assert tel.gauge_value("streams_active") == 0.0
+        assert Telemetry().summary().count("gauges") == 0

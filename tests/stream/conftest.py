@@ -1,0 +1,13 @@
+"""Streaming-suite fixtures: no leaked fault plans between tests."""
+
+import pytest
+
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def disarm_faults():
+    """Every test starts and ends with no plan armed."""
+    faults.uninstall_plan()
+    yield
+    faults.uninstall_plan()

@@ -1,0 +1,52 @@
+"""SSE framing round-trips and parser robustness."""
+
+import pytest
+
+from repro.stream.sse import format_event, parse_events, split_complete
+
+
+class TestFormat:
+    def test_wire_shape(self):
+        frame = format_event(3, "update", {"b": 1, "a": 2})
+        assert frame == b'id: 3\nevent: update\ndata: {"a":2,"b":1}\n\n'
+
+    def test_rejects_negative_seq(self):
+        with pytest.raises(ValueError):
+            format_event(-1, "update", {})
+
+    @pytest.mark.parametrize("event", ["two\nlines", "colon:ized"])
+    def test_rejects_malformed_event_types(self, event):
+        with pytest.raises(ValueError):
+            format_event(0, event, {})
+
+
+class TestParse:
+    def test_round_trip(self):
+        raw = b"".join(
+            format_event(i, kind, {"seq": i})
+            for i, kind in enumerate(["update", "heartbeat", "end"])
+        )
+        events = parse_events(raw)
+        assert [(s, e) for s, e, _ in events] == [
+            (0, "update"),
+            (1, "heartbeat"),
+            (2, "end"),
+        ]
+        assert all(data == {"seq": s} for s, _, data in events)
+
+    def test_partial_tail_is_kept_not_parsed(self):
+        complete = format_event(0, "update", {"x": 1})
+        partial = b"id: 1\nevent: upd"
+        events, rest = split_complete(complete + partial)
+        assert len(events) == 1
+        assert rest == partial
+        assert parse_events(complete + partial) == events
+
+    def test_comment_lines_ignored(self):
+        raw = b": keep-alive\n\n" + format_event(0, "update", {})
+        events = parse_events(raw)
+        assert events == [(0, "update", {})]
+
+    def test_data_without_id_defaults(self):
+        events = parse_events(b'data: {"k":1}\n\n')
+        assert events == [(-1, "message", {"k": 1})]
