@@ -23,6 +23,12 @@ Commands:
   it mid-stream), feed the telemetry through the drift detector and
   render each incremental re-diagnosis as it happens (see README
   "Streaming mode").
+* ``corpus generate|run`` — corpus mode: generate a seeded scenario
+  corpus (large netlists, multi-fault, intermittent, tempco drift,
+  tolerance stackup) and score any kernel against it —
+  rank-of-true-fault accuracy and latency percentiles per scenario
+  class, with an optional committed accuracy floor (see README "Corpus
+  mode").
 * ``simulate NETLIST`` — print the DC operating point of a netlist.
 * ``demo`` — the quickstart walk-through on the three-stage amplifier.
 """
@@ -343,6 +349,111 @@ def _cmd_watch(args: argparse.Namespace) -> int:
         print()
         print(telemetry.summary(title="stream telemetry"))
     return 1 if saw_fault else 0
+
+
+def _parse_classes(raw: str) -> Optional[List[str]]:
+    names = [c.strip() for c in raw.split(",") if c.strip()]
+    return names or None
+
+
+def _cmd_corpus_generate(args: argparse.Namespace) -> int:
+    from repro.corpus import generate_corpus
+
+    try:
+        manifest = generate_corpus(args.seed, args.per_class, _parse_classes(args.classes))
+    except ValueError as exc:
+        print(f"bad corpus recipe: {exc}", file=sys.stderr)
+        return 2
+    text = manifest.to_json()
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {len(manifest)} scenarios "
+              f"({len(manifest.classes)} classes, seed {manifest.seed}) to {args.out}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _corpus_table(report) -> str:
+    lines = []
+    stats = report.stats()
+    for kernel in sorted(stats):
+        lines.append(f"kernel {kernel}:")
+        lines.append(f"  {'class':<20}{'n':>6}{'top1':>8}{'top3':>8}{'top5':>8}"
+                     f"{'mrank':>8}{'lowdeg':>8}{'p50ms':>9}{'p95ms':>9}")
+        classes = stats[kernel]
+        ordered = sorted(c for c in classes if c != "overall") + ["overall"]
+        for name in ordered:
+            acc = classes[name].accuracy_dict()
+            lat = classes[name].latency_dict()
+            mean_rank = acc["mean_rank"]
+            lines.append(
+                f"  {name:<20}{acc['n']:>6}"
+                f"{acc.get('top1', 0.0):>8.3f}{acc.get('top3', 0.0):>8.3f}"
+                f"{acc.get('top5', 0.0):>8.3f}"
+                f"{(f'{mean_rank:.2f}' if mean_rank is not None else '-'):>8}"
+                f"{acc['low_degree_rate']:>8.3f}"
+                f"{lat['p50_ms']:>9.1f}{lat['p95_ms']:>9.1f}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_corpus_run(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.corpus import CorpusManifest, check_floor, generate_corpus, run_corpus
+
+    if args.manifest:
+        try:
+            manifest = CorpusManifest.from_json(Path(args.manifest).read_text())
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"bad corpus manifest: {exc}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            manifest = generate_corpus(
+                args.seed, args.per_class, _parse_classes(args.classes)
+            )
+        except ValueError as exc:
+            print(f"bad corpus recipe: {exc}", file=sys.stderr)
+            return 2
+    kernels = tuple(args.kernel) if args.kernel else ("reference", "fast")
+    try:
+        top_k = tuple(int(k) for k in args.top_k.split(",") if k.strip())
+    except ValueError as exc:
+        print(f"bad --top-k: {exc}", file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    report = run_corpus(
+        manifest,
+        kernels=kernels,
+        workers=args.workers,
+        executor=args.executor,
+        top_k=top_k or (1, 3, 5),
+    )
+    wall = time.perf_counter() - started
+    if args.out:
+        Path(args.out).write_text(report.to_json(include_latency=args.latency))
+    breaches = []
+    if args.floor:
+        try:
+            floor = json.loads(Path(args.floor).read_text())
+        except (OSError, ValueError) as exc:
+            print(f"bad floor file: {exc}", file=sys.stderr)
+            return 2
+        breaches = check_floor(report, floor)
+    if args.json:
+        sys.stdout.write(report.to_json(include_latency=args.latency))
+    else:
+        print(f"corpus of {len(manifest)} scenarios "
+              f"(seed {manifest.seed}, {len(manifest.classes)} classes) "
+              f"on {'+'.join(kernels)} — {wall:.1f}s wall-clock")
+        print(_corpus_table(report))
+    for breach in breaches:
+        print(f"FLOOR BREACH: {breach}", file=sys.stderr)
+    if args.floor and not breaches:
+        print("accuracy floor holds", file=sys.stderr)
+    return 1 if breaches else 0
 
 
 def _cmd_demo(_args: argparse.Namespace) -> int:
@@ -668,6 +779,82 @@ def build_parser() -> argparse.ArgumentParser:
         help="one JSON object per update (the SSE data schema) instead of text",
     )
     watch.set_defaults(func=_cmd_watch)
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="corpus mode: seeded scenario generation + accuracy regression",
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+
+    def _recipe_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--seed", type=int, default=7,
+            help="corpus seed; every scenario is deterministic from "
+            "(seed, class) (default 7)",
+        )
+        p.add_argument(
+            "--per-class", dest="per_class", type=int, default=170,
+            help="scenarios per class (default 170 — ~1000 across the "
+            "six classes)",
+        )
+        p.add_argument(
+            "--classes", default="",
+            help="comma-separated scenario classes (default: all six; see "
+            "README 'Corpus mode')",
+        )
+
+    corpus_generate = corpus_sub.add_parser(
+        "generate", help="generate a scenario manifest (canonical JSON)"
+    )
+    _recipe_options(corpus_generate)
+    corpus_generate.add_argument(
+        "--out", default="", help="write the manifest here (default stdout)"
+    )
+    corpus_generate.set_defaults(func=_cmd_corpus_generate)
+
+    corpus_run = corpus_sub.add_parser(
+        "run", help="execute a corpus and report accuracy + latency per class"
+    )
+    _recipe_options(corpus_run)
+    corpus_run.add_argument(
+        "--manifest", default="",
+        help="run this manifest file instead of generating from the recipe",
+    )
+    corpus_run.add_argument(
+        "--kernel", action="append", choices=["reference", "fast"], default=None,
+        help="kernel(s) to score, repeatable (default: both)",
+    )
+    corpus_run.add_argument(
+        "--workers", type=int, default=4, help="worker pool width (default 4)"
+    )
+    corpus_run.add_argument(
+        "--executor", choices=["process", "thread", "serial"], default="process",
+        help="pool flavour (default process)",
+    )
+    corpus_run.add_argument(
+        "--top-k", dest="top_k", default="1,3,5",
+        help="hit@k cut-offs, comma-separated (default 1,3,5)",
+    )
+    corpus_run.add_argument(
+        "--out", default="",
+        help="write the machine-readable report here (accuracy only, "
+        "byte-stable across runs unless --latency)",
+    )
+    corpus_run.add_argument(
+        "--floor", default="",
+        help="accuracy floor JSON to enforce (e.g. benchmarks/"
+        "corpus_floor.json); breaches exit 1",
+    )
+    corpus_run.add_argument(
+        "--latency", action="store_true",
+        help="include latency percentiles in the JSON report (breaks "
+        "byte-stability; the text table always shows them)",
+    )
+    corpus_run.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable report instead of the text table",
+    )
+    corpus_run.set_defaults(func=_cmd_corpus_run)
 
     demo = sub.add_parser("demo", help="diagnose a shorted resistor on the paper's amplifier")
     demo.set_defaults(func=_cmd_demo)

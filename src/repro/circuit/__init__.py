@@ -35,7 +35,13 @@ from repro.circuit.transient import (
     Waveform,
     step_waveform,
 )
-from repro.circuit.generators import resistor_ladder, amplifier_chain, divider_tree
+from repro.circuit.generators import (
+    resistor_ladder,
+    amplifier_chain,
+    divider_tree,
+    mesh_grid,
+    bridge_cascade,
+)
 from repro.circuit.spice import NetlistError, parse_netlist, parse_value, write_netlist
 from repro.circuit.analysis import (
     MonteCarloResult,
@@ -89,4 +95,6 @@ __all__ = [
     "resistor_ladder",
     "amplifier_chain",
     "divider_tree",
+    "mesh_grid",
+    "bridge_cascade",
 ]

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 from repro.circuit.components import (
     Amplifier,
@@ -26,7 +27,14 @@ from repro.circuit.components import (
 )
 from repro.circuit.netlist import Circuit, Component
 
-__all__ = ["FaultKind", "Fault", "apply_fault", "OPEN_RESISTANCE", "SHORT_RESISTANCE"]
+__all__ = [
+    "FaultKind",
+    "Fault",
+    "apply_fault",
+    "apply_faults",
+    "OPEN_RESISTANCE",
+    "SHORT_RESISTANCE",
+]
 
 #: Resistance used to emulate an open circuit (finite for MNA regularity).
 OPEN_RESISTANCE = 1e12
@@ -41,6 +49,8 @@ class FaultKind(enum.Enum):
     SHORT = "short"  # component becomes (nearly) a wire
     PARAM = "param"  # a parameter drifts to `value`
     NODE_OPEN = "node_open"  # one pin disconnects from its net
+    DRIFT = "drift"  # a parameter drifts *relatively* by `value` (e.g. tempco aging)
+    INTERMITTENT = "intermittent"  # `base` defect present only in some measurements
 
 
 @dataclass(frozen=True)
@@ -51,10 +61,17 @@ class Fault:
         kind: the defect class.
         component: name of the affected component (for NODE_OPEN, the
             component whose pin detaches).
-        parameter: for PARAM faults, which parameter drifts (defaults to
-            the component's main parameter).
-        value: for PARAM faults, the new crisp value.
+        parameter: for PARAM/DRIFT faults, which parameter drifts
+            (defaults to the component's main parameter).
+        value: for PARAM faults, the new crisp value; for DRIFT faults,
+            the *relative* drift (``+0.2`` means 20% high — the shape a
+            temperature-coefficient sweep produces).
         pin: for NODE_OPEN faults, which pin detaches.
+        base: for INTERMITTENT faults, the underlying defect that is
+            present only in a subset of the measurements.  Applying an
+            intermittent fault yields the unit *while the defect shows*;
+            which observations see it is the scenario's business (the
+            corpus generator mixes faulty and golden readings).
     """
 
     kind: FaultKind
@@ -62,17 +79,54 @@ class Fault:
     parameter: str = ""
     value: float = 0.0
     pin: str = ""
+    base: Optional["Fault"] = None
 
     def describe(self) -> str:
         if self.kind is FaultKind.PARAM:
             return f"{self.component}.{self.parameter or 'value'} -> {self.value:g}"
+        if self.kind is FaultKind.DRIFT:
+            return f"{self.component}.{self.parameter or 'value'} drift {self.value:+.3g}"
         if self.kind is FaultKind.NODE_OPEN:
             return f"open at {self.component}.{self.pin}"
+        if self.kind is FaultKind.INTERMITTENT:
+            inner = self.base.describe() if self.base else self.component
+            return f"intermittent({inner})"
         return f"{self.kind.value} {self.component}"
+
+    def to_dict(self) -> Dict:
+        """Plain-data form (manifest serialisation); inverse of :meth:`from_dict`."""
+        data: Dict = {"kind": self.kind.value, "component": self.component}
+        if self.parameter:
+            data["parameter"] = self.parameter
+        if self.value:
+            data["value"] = self.value
+        if self.pin:
+            data["pin"] = self.pin
+        if self.base is not None:
+            data["base"] = self.base.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Fault":
+        base = data.get("base")
+        return cls(
+            kind=FaultKind(str(data["kind"])),
+            component=str(data["component"]),
+            parameter=str(data.get("parameter", "")),
+            value=float(data.get("value", 0.0)),
+            pin=str(data.get("pin", "")),
+            base=cls.from_dict(base) if base else None,
+        )
 
 
 def apply_fault(circuit: Circuit, fault: Fault) -> Circuit:
     """A faulty clone of ``circuit``; the original is untouched."""
+    if fault.kind is FaultKind.INTERMITTENT:
+        if fault.base is None:
+            raise ValueError("an INTERMITTENT fault needs its 'base' defect")
+        if fault.base.kind is FaultKind.INTERMITTENT:
+            raise ValueError("INTERMITTENT faults do not nest")
+        return apply_fault(circuit, fault.base)
     faulty = circuit.clone()
     comp = faulty.component(fault.component)
     if fault.kind is FaultKind.OPEN:
@@ -81,6 +135,8 @@ def apply_fault(circuit: Circuit, fault: Fault) -> Circuit:
         _set_extreme(comp, SHORT_RESISTANCE, open_fault=False)
     elif fault.kind is FaultKind.PARAM:
         _drift(comp, fault.parameter, fault.value)
+    elif fault.kind is FaultKind.DRIFT:
+        _drift_relative(comp, fault.parameter, fault.value)
     elif fault.kind is FaultKind.NODE_OPEN:
         if fault.pin not in comp.PINS:
             raise ValueError(f"{comp.name} has no pin {fault.pin!r}")
@@ -88,6 +144,14 @@ def apply_fault(circuit: Circuit, fault: Fault) -> Circuit:
     else:  # pragma: no cover - exhaustive enum
         raise ValueError(f"unknown fault kind {fault.kind}")
     faulty.name = f"{circuit.name}+{fault.describe()}"
+    return faulty
+
+
+def apply_faults(circuit: Circuit, faults: Sequence[Fault]) -> Circuit:
+    """A clone with every fault applied, in order (multi-fault units)."""
+    faulty = circuit
+    for fault in faults:
+        faulty = apply_fault(faulty, fault)
     return faulty
 
 
@@ -124,7 +188,7 @@ def _set_extreme(comp: Component, resistance: float, open_fault: bool) -> None:
         raise ValueError(f"cannot apply open/short to {comp.kind}")
 
 
-def _drift(comp: Component, parameter: str, value: float) -> None:
+def _main_parameter(comp: Component, parameter: str) -> str:
     name = parameter
     if not name:
         defaults = {
@@ -138,4 +202,13 @@ def _drift(comp: Component, parameter: str, value: float) -> None:
         name = defaults.get(type(comp), "")
     if not name or not hasattr(comp, name):
         raise ValueError(f"{comp.name} ({comp.kind}) has no parameter {parameter!r}")
-    setattr(comp, name, value)
+    return name
+
+
+def _drift(comp: Component, parameter: str, value: float) -> None:
+    setattr(comp, _main_parameter(comp, parameter), value)
+
+
+def _drift_relative(comp: Component, parameter: str, fraction: float) -> None:
+    name = _main_parameter(comp, parameter)
+    setattr(comp, name, getattr(comp, name) * (1.0 + fraction))

@@ -15,7 +15,18 @@ from typing import Optional
 from repro.circuit.components import Amplifier, Resistor, VoltageSource
 from repro.circuit.netlist import Circuit, GROUND
 
-__all__ = ["resistor_ladder", "amplifier_chain", "divider_tree"]
+__all__ = [
+    "resistor_ladder",
+    "amplifier_chain",
+    "divider_tree",
+    "mesh_grid",
+    "bridge_cascade",
+]
+
+
+def _pick(rng: Optional[random.Random], nominal: float, lo: float, hi: float) -> float:
+    """Nominal when unseeded, a draw from [lo, hi] when ``rng`` is given."""
+    return nominal if rng is None else rng.uniform(lo, hi)
 
 
 def resistor_ladder(
@@ -70,12 +81,14 @@ def divider_tree(
     depth: int,
     supply: float = 12.0,
     tolerance: float = 0.05,
+    rng: Optional[random.Random] = None,
 ) -> Circuit:
     """A binary tree of voltage dividers (multiple interacting paths).
 
     Each level halves the parent voltage through a 10k/10k divider; the
     tree has ``2**depth - 1`` internal nodes, exercising candidate
-    generation with overlapping support sets.
+    generation with overlapping support sets.  With ``rng`` the divider
+    resistances are drawn from a decade around 10 kOhm.
     """
     if depth < 1:
         raise ValueError("depth must be positive")
@@ -89,9 +102,86 @@ def divider_tree(
         for side in ("l", "r"):
             counter[0] += 1
             node = f"{parent}{side}"
-            ckt.add(Resistor(f"Ra{counter[0]}", 10e3, tolerance, a=parent, b=node))
-            ckt.add(Resistor(f"Rb{counter[0]}", 10e3, tolerance, a=node, b=GROUND))
+            upper = _pick(rng, 10e3, 5e3, 50e3)
+            lower = _pick(rng, 10e3, 5e3, 50e3)
+            ckt.add(Resistor(f"Ra{counter[0]}", upper, tolerance, a=parent, b=node))
+            ckt.add(Resistor(f"Rb{counter[0]}", lower, tolerance, a=node, b=GROUND))
             grow(node, level + 1)
 
     grow("t", 0)
+    return ckt
+
+
+def mesh_grid(
+    rows: int,
+    cols: int,
+    supply: float = 10.0,
+    tolerance: float = 0.05,
+    rng: Optional[random.Random] = None,
+) -> Circuit:
+    """A ``rows x cols`` resistive mesh (the many-loop stress shape).
+
+    Nodes are ``m<r>c<c>``; horizontal resistors ``Rh*`` and vertical
+    resistors ``Rv*`` join lattice neighbours, the supply drives the
+    ``m0c0`` corner and ``Rload`` returns the far corner to ground.
+    Every interior node sits on at least two loops, so supports overlap
+    heavily and conflict localisation is genuinely hard.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("mesh needs at least 2x2 nodes")
+    ckt = Circuit(f"mesh-{rows}x{cols}")
+
+    def node(r: int, c: int) -> str:
+        return f"m{r}c{c}"
+
+    ckt.add(VoltageSource("Vin", supply, p=node(0, 0), n=GROUND))
+    counter = 0
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                counter += 1
+                ckt.add(Resistor(f"Rh{counter}", _pick(rng, 10e3, 5e3, 50e3),
+                                 tolerance, a=node(r, c), b=node(r, c + 1)))
+            if r + 1 < rows:
+                counter += 1
+                ckt.add(Resistor(f"Rv{counter}", _pick(rng, 10e3, 5e3, 50e3),
+                                 tolerance, a=node(r, c), b=node(r + 1, c)))
+    ckt.add(Resistor("Rload", _pick(rng, 10e3, 5e3, 50e3), tolerance,
+                     a=node(rows - 1, cols - 1), b=GROUND))
+    return ckt
+
+
+def bridge_cascade(
+    sections: int,
+    supply: float = 10.0,
+    tolerance: float = 0.05,
+    rng: Optional[random.Random] = None,
+) -> Circuit:
+    """A chain of loaded Wheatstone bridges.
+
+    Section ``i`` splits its input ``b<i-1>`` into two divider arms
+    (``Ra``/``Rb`` to ``x<i>``, ``Rc``/``Rd`` to ``y<i>``) tied by the
+    bridge resistor ``Re<i>``; ``Rf<i>`` couples ``x<i>`` into the next
+    section.  Bridges are the classic "balanced measurements hide the
+    defect" topology, so probing both arms is required to localise.
+    """
+    if sections < 1:
+        raise ValueError("need at least one bridge section")
+    ckt = Circuit(f"bridge-{sections}")
+    ckt.add(VoltageSource("Vin", supply, p="b0", n=GROUND))
+    for i in range(1, sections + 1):
+        ckt.add(Resistor(f"Ra{i}", _pick(rng, 10e3, 5e3, 50e3), tolerance,
+                         a=f"b{i-1}", b=f"x{i}"))
+        ckt.add(Resistor(f"Rb{i}", _pick(rng, 10e3, 5e3, 50e3), tolerance,
+                         a=f"x{i}", b=GROUND))
+        ckt.add(Resistor(f"Rc{i}", _pick(rng, 10e3, 5e3, 50e3), tolerance,
+                         a=f"b{i-1}", b=f"y{i}"))
+        ckt.add(Resistor(f"Rd{i}", _pick(rng, 10e3, 5e3, 50e3), tolerance,
+                         a=f"y{i}", b=GROUND))
+        ckt.add(Resistor(f"Re{i}", _pick(rng, 10e3, 5e3, 50e3), tolerance,
+                         a=f"x{i}", b=f"y{i}"))
+        ckt.add(Resistor(f"Rf{i}", _pick(rng, 10e3, 5e3, 50e3), tolerance,
+                         a=f"x{i}", b=f"b{i}"))
+    ckt.add(Resistor("Rload", _pick(rng, 10e3, 5e3, 50e3), tolerance,
+                     a=f"b{sections}", b=GROUND))
     return ckt

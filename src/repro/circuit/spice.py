@@ -19,9 +19,13 @@ title        first line starting with ``.title``                 circuit name
 ===========  ==================================================  ==========================
 
 Values accept the usual engineering suffixes (``k``, ``meg``, ``m``,
-``u``, ``n``, ``p``, ``g``, ``t``); node ``0`` is ground.  This is a
-pragmatic subset — enough to describe every circuit in this repository
-— not a general SPICE front end.
+``u``, ``n``, ``p``, ``g``, ``t``); node ``0`` is ground.  A card may
+also lead with an explicit single-letter kind token — ``E amp1 nin nout
+gain`` — which frees the component name from the first-letter
+convention; the writer emits that form whenever a name (``amp1``)
+would not otherwise parse back to its own class.  This is a pragmatic
+subset — enough to describe every circuit in this repository — not a
+general SPICE front end.
 """
 
 from __future__ import annotations
@@ -110,9 +114,16 @@ def parse_netlist(text: str, name: str = "netlist") -> Circuit:
         tokens = line.split()
         positional, keywords = _keywords(tokens)
         card = positional[0]
-        kind = card[0].upper()
+        args = positional[1:]
+        if len(card) == 1 and card.upper() in _KINDS and len(args) >= 3:
+            # Explicit-kind card: ``E amp1 nin nout gain`` — used when a
+            # component's name does not start with its card letter (the
+            # writer emits this form so e.g. ``amp1`` round-trips).
+            kind, card, args = card.upper(), args[0], args[1:]
+        else:
+            kind = card[0].upper()
         try:
-            component = _build(kind, card, positional[1:], keywords)
+            component = _build(kind, card, args, keywords)
         except (ValueError, IndexError) as exc:
             raise NetlistError(line_number, raw, str(exc)) from exc
         try:
@@ -179,45 +190,75 @@ def _need(args: List[str], count: int, usage: str) -> None:
         raise ValueError(f"expected {usage}")
 
 
+#: Card letters the parser dispatches on (first letter of the name, or an
+#: explicit single-letter kind token).
+_KINDS = frozenset("RCDQTVIE")
+
+#: Letters under which each component class parses back to itself.
+_CARD_LETTERS = {
+    Resistor: "R",
+    Capacitor: "C",
+    Diode: "D",
+    BJT: "QT",
+    VoltageSource: "V",
+    CurrentSource: "I",
+    Amplifier: "E",
+}
+
+
+def _card_name(comp: Component) -> str:
+    """``name`` when it dispatches to the right kind, else ``<KIND> name``.
+
+    Amplifiers are conventionally called ``amp1`` — a name the
+    letter-dispatch parser would reject — so the writer emits the
+    explicit-kind form for any component whose name would not parse
+    back to its own class.
+    """
+    letters = _CARD_LETTERS[type(comp)]
+    if len(comp.name) > 1 and comp.name[0].upper() in letters:
+        return comp.name
+    return f"{letters[0]} {comp.name}"
+
+
 def write_netlist(circuit: Circuit) -> str:
     """Serialise a circuit back to the card format (round-trippable)."""
     lines = [f".title {circuit.name}"]
     for comp in circuit.components:
         if isinstance(comp, Resistor):
             lines.append(
-                f"{comp.name} {comp.net('a')} {comp.net('b')} "
-                f"{comp.resistance:g} tol={comp.tolerance:g}"
+                f"{_card_name(comp)} {comp.net('a')} {comp.net('b')} "
+                f"{comp.resistance!r} tol={comp.tolerance!r}"
             )
         elif isinstance(comp, Capacitor):
             lines.append(
-                f"{comp.name} {comp.net('a')} {comp.net('b')} "
-                f"{comp.capacitance:g} tol={comp.tolerance:g}"
+                f"{_card_name(comp)} {comp.net('a')} {comp.net('b')} "
+                f"{comp.capacitance!r} tol={comp.tolerance!r}"
             )
         elif isinstance(comp, Diode):
             lines.append(
-                f"{comp.name} {comp.net('anode')} {comp.net('cathode')} "
-                f"von={comp.v_on:g} tol={comp.tolerance:g}"
+                f"{_card_name(comp)} {comp.net('anode')} {comp.net('cathode')} "
+                f"von={comp.v_on!r} tol={comp.tolerance!r}"
             )
         elif isinstance(comp, BJT):
             lines.append(
-                f"{comp.name} {comp.net('c')} {comp.net('b')} {comp.net('e')} "
-                f"{comp.beta:g} vbe={comp.vbe_on:g} btol={comp.beta_tolerance:g} "
-                f"tol={comp.tolerance:g}"
+                f"{_card_name(comp)} {comp.net('c')} {comp.net('b')} {comp.net('e')} "
+                f"{comp.beta!r} vbe={comp.vbe_on!r} btol={comp.beta_tolerance!r} "
+                f"tol={comp.tolerance!r}"
             )
         elif isinstance(comp, VoltageSource):
             lines.append(
-                f"{comp.name} {comp.net('p')} {comp.net('n')} "
-                f"{comp.voltage:g} tol={comp.tolerance:g}"
+                f"{_card_name(comp)} {comp.net('p')} {comp.net('n')} "
+                f"{comp.voltage!r} tol={comp.tolerance!r}"
             )
         elif isinstance(comp, CurrentSource):
             lines.append(
-                f"{comp.name} {comp.net('p')} {comp.net('n')} "
-                f"{comp.current:g} tol={comp.tolerance:g}"
+                f"{_card_name(comp)} {comp.net('p')} {comp.net('n')} "
+                f"{comp.current!r} tol={comp.tolerance!r}"
             )
         elif isinstance(comp, Amplifier):
             lines.append(
-                f"{comp.name} {comp.net('inp')} {comp.net('out')} "
-                f"{comp.gain:g} tol={comp.tolerance:g}"
+                f"{_card_name(comp)} {comp.net('inp')} {comp.net('out')} "
+                f"{comp.gain!r} tol={comp.tolerance!r}"
             )
         else:
             raise ValueError(f"cannot serialise component kind {comp.kind}")

@@ -1,0 +1,98 @@
+"""Cross-kernel differential over every corpus scenario class.
+
+One small seeded corpus (two scenarios per class) runs through both
+kernels scenario by scenario; the full ranked candidate list, suspicion
+degrees and weighted-nogood structure must agree to 1e-9.  Intermittent
+scenarios additionally assert the fuzzy-ATMS signature the corpus
+generator promises: at least one *low-degree* nogood — a weighted
+nogood whose inconsistency degree is strictly inside (0, 1) — with the
+true culprit among the suspects.
+"""
+
+import math
+
+import pytest
+
+from repro.core.diagnosis import Flames, FlamesConfig
+from repro.corpus import CERTAIN, CLASSES, generate_corpus, ranking_from_payload
+from repro.service.jobs import diagnosis_to_dict
+
+SEED = 29
+PER_CLASS = 2
+TOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def payloads():
+    """{(scenario id, kernel): diagnosis payload} for the whole corpus."""
+    manifest = generate_corpus(SEED, PER_CLASS)
+    table = {}
+    for scenario in manifest.scenarios:
+        for kernel in ("reference", "fast"):
+            engine = Flames(scenario.circuit(), FlamesConfig(kernel=kernel))
+            result = engine.diagnose(scenario.to_measurements())
+            table[(scenario.id, kernel)] = diagnosis_to_dict(result)
+    return manifest, table
+
+
+@pytest.mark.parametrize("scenario_class", CLASSES)
+def test_identical_ranked_candidates(scenario_class, payloads):
+    manifest, table = payloads
+    scenarios = manifest.by_class()[scenario_class]
+    assert len(scenarios) == PER_CLASS
+    for scenario in scenarios:
+        ref = table[(scenario.id, "reference")]
+        fast = table[(scenario.id, "fast")]
+        assert ref["status"] == fast["status"], scenario.id
+
+        ranked_ref = ranking_from_payload(ref)
+        ranked_fast = ranking_from_payload(fast)
+        assert [c for c, _ in ranked_ref] == [c for c, _ in ranked_fast], scenario.id
+        for (_, dr), (_, df) in zip(ranked_ref, ranked_fast):
+            assert math.isclose(dr, df, rel_tol=0, abs_tol=TOL), scenario.id
+
+        ng_ref = sorted((tuple(ng["components"]), ng["degree"]) for ng in ref["nogoods"])
+        ng_fast = sorted((tuple(ng["components"]), ng["degree"]) for ng in fast["nogoods"])
+        assert [k for k, _ in ng_ref] == [k for k, _ in ng_fast], scenario.id
+        for (_, dr), (_, df) in zip(ng_ref, ng_fast):
+            assert math.isclose(dr, df, rel_tol=0, abs_tol=TOL), scenario.id
+
+        cand_ref = [(tuple(c["components"]), c["degree"]) for c in ref["candidates"]]
+        cand_fast = [(tuple(c["components"]), c["degree"]) for c in fast["candidates"]]
+        assert [k for k, _ in cand_ref] == [k for k, _ in cand_fast], scenario.id
+        for (_, dr), (_, df) in zip(cand_ref, cand_fast):
+            assert math.isclose(dr, df, rel_tol=0, abs_tol=TOL), scenario.id
+
+
+def test_intermittent_scenarios_surface_low_degree_nogoods(payloads):
+    manifest, table = payloads
+    for scenario in manifest.by_class()["intermittent"]:
+        for kernel in ("reference", "fast"):
+            payload = table[(scenario.id, kernel)]
+            degrees = [ng["degree"] for ng in payload["nogoods"]]
+            assert degrees, f"{scenario.id}/{kernel}: no nogoods at all"
+            partial = [d for d in degrees if 1e-6 < d < CERTAIN]
+            assert partial, (
+                f"{scenario.id}/{kernel}: no low-degree nogood "
+                f"(degrees: {[round(d, 6) for d in degrees]})"
+            )
+            culprit = scenario.expected[0]
+            assert culprit in payload["suspicions"], (
+                f"{scenario.id}/{kernel}: culprit {culprit} not among suspects"
+            )
+
+
+def test_persistent_hard_faults_pin_full_degree(payloads):
+    """The contrast that makes low-degree meaningful: a persistent hard
+    defect produces at least one frankly inconsistent (degree 1) nogood."""
+    manifest, table = payloads
+    for scenario in manifest.by_class()["single-hard"]:
+        for kernel in ("reference", "fast"):
+            degrees = [
+                ng["degree"] for ng in table[(scenario.id, kernel)]["nogoods"]
+            ]
+            assert degrees, f"{scenario.id}/{kernel}: no nogoods at all"
+            assert any(d >= CERTAIN for d in degrees), (
+                f"{scenario.id}/{kernel}: persistent defect without a "
+                f"full-degree nogood (degrees: {[round(d, 6) for d in degrees]})"
+            )

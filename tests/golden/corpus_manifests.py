@@ -1,0 +1,41 @@
+"""Golden corpus manifests: one small snapshot per scenario class.
+
+Shared between the snapshot test and the regeneration entry point:
+
+    PYTHONPATH=src python tests/golden/corpus_manifests.py   # rewrite
+
+Each file pins the byte-exact manifest the generator must produce for
+``(seed=101, per_class=2)`` of one class — netlists, fuzzy readings,
+injected faults, metadata, everything.  A diff here means the corpus
+changed: intentional generator work regenerates and reviews the diff;
+anything else is latent nondeterminism or an accidental behaviour
+change, and the test catches it.
+"""
+
+from pathlib import Path
+
+from repro.corpus import CLASSES, generate_corpus
+
+GOLDEN_DIR = Path(__file__).parent
+
+SEED = 101
+PER_CLASS = 2
+
+
+def manifest_json(scenario_class):
+    """Canonical manifest text for one class's golden snapshot."""
+    return generate_corpus(SEED, PER_CLASS, [scenario_class]).to_json()
+
+
+def golden_path(scenario_class):
+    return GOLDEN_DIR / f"corpus_{scenario_class}.json"
+
+
+def main():
+    for scenario_class in CLASSES:
+        golden_path(scenario_class).write_text(manifest_json(scenario_class))
+        print(f"wrote {golden_path(scenario_class)}")
+
+
+if __name__ == "__main__":
+    main()

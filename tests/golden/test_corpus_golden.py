@@ -1,0 +1,36 @@
+"""Byte-exact golden snapshots of the corpus generator, per class.
+
+Regenerate with ``python tests/golden/corpus_manifests.py`` after an
+intentional generator change; anything else that moves these bytes is a
+determinism bug (platform-dependent RNG use, dict-order leakage, float
+formatting drift) or an accidental behaviour change.
+"""
+
+import json
+
+import pytest
+
+from repro.corpus import CLASSES, CorpusManifest
+from tests.golden.corpus_manifests import PER_CLASS, golden_path, manifest_json
+
+
+@pytest.mark.parametrize("scenario_class", CLASSES)
+def test_manifest_matches_golden(scenario_class):
+    expected = golden_path(scenario_class).read_text()
+    assert manifest_json(scenario_class) == expected
+
+
+@pytest.mark.parametrize("scenario_class", CLASSES)
+def test_golden_manifest_is_loadable(scenario_class):
+    manifest = CorpusManifest.from_json(golden_path(scenario_class).read_text())
+    assert len(manifest) == PER_CLASS
+    assert all(s.scenario_class == scenario_class for s in manifest.scenarios)
+    # Round trip through plain data preserves the canonical bytes.
+    assert manifest.to_json() == golden_path(scenario_class).read_text()
+    # Scenarios parse back into solvable, well-formed circuits.
+    for scenario in manifest.scenarios:
+        circuit = scenario.circuit()
+        circuit.validate()
+        assert scenario.measurements
+        payload = json.loads(golden_path(scenario_class).read_text())
+        assert payload["version"] == manifest.version

@@ -153,3 +153,56 @@ class TestDemo:
         out = capsys.readouterr().out
         assert "short R2" in out
         assert "minimal candidates" in out
+
+
+class TestCorpus:
+    # One tiny deterministic recipe keeps every CLI-level corpus test
+    # in the sub-second range; the full loop lives in tests/corpus/.
+    RECIPE = ["--seed", "5", "--per-class", "1", "--classes", "single-hard"]
+    RUN_ARGS = ["--kernel", "fast", "--executor", "serial", "--workers", "1"]
+
+    def test_generate_to_stdout(self, capsys):
+        assert main(["corpus", "generate"] + self.RECIPE) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["classes"] == ["single-hard"]
+        assert len(payload["scenarios"]) == 1
+
+    def test_generate_to_file_then_run_manifest(self, tmp_path, capsys):
+        path = tmp_path / "corpus.json"
+        assert main(["corpus", "generate", "--out", str(path)] + self.RECIPE) == 0
+        assert "wrote 1 scenarios" in capsys.readouterr().out
+        code = main(["corpus", "run", "--manifest", str(path)] + self.RUN_ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kernel fast:" in out
+        assert "single-hard" in out
+        assert "overall" in out
+
+    def test_run_json_report(self, capsys):
+        code = main(["corpus", "run", "--json"] + self.RECIPE + self.RUN_ARGS)
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        cell = payload["kernels"]["fast"]["single-hard"]
+        assert cell["accuracy"]["n"] == 1
+        assert cell["accuracy"]["failures"] == 0
+
+    def test_floor_breach_exits_one(self, tmp_path, capsys):
+        floor = tmp_path / "floor.json"
+        floor.write_text(json.dumps({"floors": {"top1": {"overall": 2.0}}}))
+        code = main(["corpus", "run", "--floor", str(floor)]
+                    + self.RECIPE + self.RUN_ARGS)
+        assert code == 1
+        assert "FLOOR BREACH" in capsys.readouterr().err
+
+    def test_floor_holds_exits_zero(self, tmp_path, capsys):
+        floor = tmp_path / "floor.json"
+        floor.write_text(json.dumps({"floors": {"top1": {"overall": 0.0}}}))
+        code = main(["corpus", "run", "--floor", str(floor)]
+                    + self.RECIPE + self.RUN_ARGS)
+        assert code == 0
+        assert "accuracy floor holds" in capsys.readouterr().err
+
+    def test_unknown_class_exit_two(self, capsys):
+        code = main(["corpus", "generate", "--classes", "nonsense"])
+        assert code == 2
+        assert "bad corpus recipe" in capsys.readouterr().err
