@@ -71,9 +71,41 @@ class TestCorpusAccuracy:
 
 
 def main():  # pragma: no cover - manual entry point
-    manifest = generate_corpus(SEED, PER_CLASS)
-    report = run_corpus(manifest, workers=4)
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="bench_corpus",
+        description="corpus accuracy/latency benchmark (CI smoke recipe)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=SEED, help=f"corpus seed (default {SEED})"
+    )
+    parser.add_argument(
+        "--per-class", dest="per_class", type=int, default=PER_CLASS,
+        help=f"scenarios per class (default {PER_CLASS})",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4, help="worker pool width (default 4)"
+    )
+    parser.add_argument(
+        "--json-out", default="",
+        help="also write the full report as JSON here (e.g. BENCH_corpus.json)",
+    )
+    args = parser.parse_args()
+    manifest = generate_corpus(args.seed, args.per_class)
+    report = run_corpus(manifest, workers=args.workers)
     print(format_table(report))
+    if args.json_out:
+        payload = {
+            "benchmark": "corpus",
+            "seed": args.seed,
+            "per_class": args.per_class,
+            "report": report.to_dict(),
+        }
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
     if os.environ.get("REPRO_BENCH_STRICT"):
         floor = json.loads(FLOOR_PATH.read_text())
         breaches = check_floor(report, floor)

@@ -7,8 +7,15 @@ reference-vs-fast kernel comparison on the repeated-measurement
 workloads the fast kernel was built for (the ``test_*_speedup`` cases
 double as the CI perf-regression guard: they fail when the fast kernel
 drops below 2x on the worklist workload).
+
+The module entry point runs just the kernel comparison and can write a
+machine-readable result for trend tracking:
+
+    PYTHONPATH=src python -m benchmarks.bench_kernel --json-out BENCH_kernel.json
 """
 
+import argparse
+import json
 import time
 
 from repro.atms import ATMS, Environment, minimal_diagnoses
@@ -252,3 +259,60 @@ class TestATMSGrowth:
         )
         assert rows[-1].diagnoses_all == 256
         emit("atms-growth", format_atms_growth(rows))
+
+
+def run_comparison(repeats=2):
+    """The reference-vs-fast rows as plain data (shared by CLI and JSON)."""
+    rows = []
+    for label, circuit, probes in (
+        ("ladder-40 x12 probes", resistor_ladder(40), 12),
+        ("three-stage x6 probes", three_stage_amplifier(), 6),
+    ):
+        run = _measurement_stream(circuit, probes)
+        run("fast")  # touch everything once so both timings are warm
+        ref = _time(run, "reference", repeats=repeats)
+        fast = _time(run, "fast", repeats=repeats)
+        rows.append(
+            {
+                "workload": label,
+                "reference_ms": round(ref * 1000, 3),
+                "fast_ms": round(fast * 1000, 3),
+                "speedup": round(ref / fast, 3),
+            }
+        )
+    return rows
+
+
+def main():  # pragma: no cover - manual entry point
+    parser = argparse.ArgumentParser(
+        prog="bench_kernel",
+        description="reference-vs-fast kernel comparison on the "
+        "repeated-measurement workloads",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="timing repetitions per workload, best-of (default 2)",
+    )
+    parser.add_argument(
+        "--json-out", default="",
+        help="also write the rows as JSON here (e.g. BENCH_kernel.json)",
+    )
+    args = parser.parse_args()
+    rows = run_comparison(repeats=args.repeats)
+    print("kernel comparison — repeated-measurement propagation")
+    print(f"{'workload':<26} {'reference':>10} {'fast':>9} {'speedup':>8}")
+    for row in rows:
+        print(
+            f"{row['workload']:<26} {row['reference_ms']:>8.0f}ms "
+            f"{row['fast_ms']:>7.0f}ms {row['speedup']:>7.2f}x"
+        )
+    if args.json_out:
+        payload = {"benchmark": "kernel", "repeats": args.repeats, "rows": rows}
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -18,6 +18,9 @@ module entry point runs the paper-scale ladder and, under
 kernels against the chain-cold baseline:
 
     REPRO_BENCH_STRICT=1 PYTHONPATH=src python -m benchmarks.bench_stream
+
+``--json-out BENCH_stream.json`` additionally writes the rows as a
+machine-readable file for trend tracking.
 """
 
 import os
@@ -126,12 +129,53 @@ class TestStreamTick:
 
 
 def main():  # pragma: no cover - manual entry point
-    sections = 12
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="bench_stream",
+        description="streaming warm-tick latency vs cold baselines",
+    )
+    parser.add_argument(
+        "--sections", type=int, default=12,
+        help="ladder sections, paper scale (default 12)",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=5, help="drift ticks per median (default 5)"
+    )
+    parser.add_argument(
+        "--json-out", default="",
+        help="also write the rows as JSON here (e.g. BENCH_stream.json)",
+    )
+    args = parser.parse_args()
+    sections = args.sections
     rows = []
     for kernel in ("reference", "fast"):
-        warm, chain, oneshot = run_tick_comparison(sections, kernel)
+        warm, chain, oneshot = run_tick_comparison(sections, kernel, reps=args.reps)
         rows.append((kernel, sections, warm, chain, oneshot))
     print(format_table(rows))
+    if args.json_out:
+        payload = {
+            "benchmark": "stream",
+            "sections": sections,
+            "reps": args.reps,
+            "rows": [
+                {
+                    "kernel": kernel,
+                    "sections": secs,
+                    "warm_ms": round(warm, 3),
+                    "chain_cold_ms": round(chain, 3),
+                    "one_shot_ms": round(oneshot, 3),
+                    "speedup_vs_chain": round(chain / warm, 3),
+                    "speedup_vs_oneshot": round(oneshot / warm, 3),
+                }
+                for kernel, secs, warm, chain, oneshot in rows
+            ],
+        }
+        with open(args.json_out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json_out}")
     if os.environ.get("REPRO_BENCH_STRICT"):
         # The gate compares against the semantically identical baseline
         # (chain-cold); one-shot is reported for context — it answers a

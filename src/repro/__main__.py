@@ -19,6 +19,10 @@ Commands:
   same API across ``--replicas N`` server subprocesses, with failover,
   replica supervision and experience gossip (see README "Cluster
   mode").
+* ``tenants create|list|report`` — administer the durable store's
+  tenants: provision an API key, enumerate tenants, or render a
+  tenant's fleet-health report from its diagnosis history (see README
+  "Persistence & tenants").
 * ``watch`` — streaming mode: simulate a unit live (optionally breaking
   it mid-stream), feed the telemetry through the drift detector and
   render each incremental re-diagnosis as it happens (see README
@@ -186,6 +190,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     except ManifestError as exc:
         print(f"bad manifest: {exc}", file=sys.stderr)
         return 2
+    store = None
+    if args.store:
+        from repro.store import DiagnosisStore
+
+        store = DiagnosisStore(args.store)
     try:
         fault_plan = FaultPlan.from_json(args.faults) if args.faults else None
         engine = FleetEngine(
@@ -198,13 +207,20 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             supervisor=FleetSupervisor() if args.supervise else None,
             fault_plan=fault_plan,
             verify_kernel=args.verify_kernel,
+            store=store,
         )
     except ValueError as exc:
+        if store is not None:
+            store.close()
         print(f"bad engine options: {exc}", file=sys.stderr)
         return 2
-    report = engine.run_batch(jobs)
-    for _ in range(max(args.repeat - 1, 0)):
+    try:
         report = engine.run_batch(jobs)
+        for _ in range(max(args.repeat - 1, 0)):
+            report = engine.run_batch(jobs)
+    finally:
+        if store is not None:
+            store.close()
 
     if args.json:
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
@@ -231,7 +247,11 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if report.rules_learned:
         print(f"experience: {report.rules_learned} rule(s) merged into the shared base")
     cache = report.cache or engine.cache.snapshot()
-    print(f"cache: {cache['hits']} hit(s), {cache['misses']} miss(es), "
+    tiers = ""
+    if cache.get("hits_disk") or (store is not None and cache.get("hits")):
+        tiers = (f" [mem {cache.get('hits_mem', 0)}, "
+                 f"disk {cache.get('hits_disk', 0)}]")
+    print(f"cache: {cache['hits']} hit(s){tiers}, {cache['misses']} miss(es), "
           f"{cache['evictions']} eviction(s), hit rate {cache['hit_rate']:.0%} "
           f"({cache['size']}/{cache['capacity']} slots)")
     print()
@@ -259,6 +279,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         forwarded.extend(["--faults", args.faults])
     if args.verify_kernel:
         forwarded.append("--verify-kernel")
+    if args.store:
+        forwarded.extend(["--store", args.store])
     return serve_main(forwarded)
 
 
@@ -284,7 +306,46 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         forwarded.extend(["--faults", args.faults])
     if args.replica_faults:
         forwarded.extend(["--replica-faults", args.replica_faults])
+    if args.store:
+        forwarded.extend(["--store", args.store])
     return cluster_main(forwarded)
+
+
+def _cmd_tenants(args: argparse.Namespace) -> int:
+    from repro.store import DiagnosisStore, build_report
+
+    store = DiagnosisStore(args.store)
+    try:
+        if args.tenants_command == "create":
+            try:
+                key = store.provision_tenant(
+                    args.tenant,
+                    name=args.name,
+                    quota_limit=args.quota,
+                    quota_interval=args.quota_interval,
+                )
+            except ValueError as exc:
+                print(f"cannot provision tenant: {exc}", file=sys.stderr)
+                return 2
+            print(json.dumps(
+                {"tenant_id": args.tenant, "api_key": key},
+                indent=2, sort_keys=True,
+            ))
+            print("save the api_key now: only its digest is stored",
+                  file=sys.stderr)
+            return 0
+        if args.tenants_command == "list":
+            tenants = [t.to_dict() for t in store.list_tenants()]
+            print(json.dumps({"tenants": tenants}, indent=2, sort_keys=True))
+            return 0
+        report = build_report(store, args.tenant, limit=args.limit)
+        if report is None:
+            print(f"no tenant {args.tenant!r}", file=sys.stderr)
+            return 2
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    finally:
+        store.close()
 
 
 def _cmd_watch(args: argparse.Namespace) -> int:
@@ -599,6 +660,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="differentially check every fast-kernel run against the "
         "reference engine (expensive; chaos/soak runs only)",
     )
+    batch.add_argument(
+        "--store",
+        default="",
+        help="durable sqlite store: results and learned experience "
+        "survive restarts (see README 'Persistence & tenants')",
+    )
     batch.set_defaults(func=_cmd_batch)
 
     serve = sub.add_parser(
@@ -645,6 +712,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--verify-kernel", action="store_true",
         help="differentially check every fast-kernel run (chaos/soak only)",
+    )
+    serve.add_argument(
+        "--store", default="",
+        help="durable sqlite store: caches, experience and tenants "
+        "survive restarts (see README 'Persistence & tenants')",
     )
     serve.set_defaults(func=_cmd_serve)
 
@@ -704,7 +776,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--replica-faults", default="",
         help="JSON fault plan forwarded to every replica subprocess",
     )
+    cluster.add_argument(
+        "--store", default="",
+        help="durable sqlite store shared by every replica; the gateway "
+        "seeds its gossip ledger from it at boot",
+    )
     cluster.set_defaults(func=_cmd_cluster)
+
+    tenants = sub.add_parser(
+        "tenants", help="administer tenants in a durable store"
+    )
+    tenants_sub = tenants.add_subparsers(dest="tenants_command", required=True)
+
+    tenants_create = tenants_sub.add_parser(
+        "create", help="provision a tenant and print its API key (once)"
+    )
+    tenants_create.add_argument("tenant", help="tenant id (no ':', '/' or whitespace)")
+    tenants_create.add_argument("--store", required=True, help="durable store file")
+    tenants_create.add_argument(
+        "--name", default="", help="display name (default: the tenant id)"
+    )
+    tenants_create.add_argument(
+        "--quota", type=int, default=0,
+        help="requests allowed per window, 0 = unlimited (default 0)",
+    )
+    tenants_create.add_argument(
+        "--quota-interval", dest="quota_interval", type=float, default=60.0,
+        help="quota window in seconds (default 60)",
+    )
+    tenants_create.set_defaults(func=_cmd_tenants)
+
+    tenants_list = tenants_sub.add_parser(
+        "list", help="list provisioned tenants (never their keys)"
+    )
+    tenants_list.add_argument("--store", required=True, help="durable store file")
+    tenants_list.set_defaults(func=_cmd_tenants)
+
+    tenants_report = tenants_sub.add_parser(
+        "report", help="a tenant's fleet-health report from its history"
+    )
+    tenants_report.add_argument("tenant", help="tenant id")
+    tenants_report.add_argument("--store", required=True, help="durable store file")
+    tenants_report.add_argument(
+        "--limit", type=int, default=0,
+        help="only the most recent N history rows (default: all)",
+    )
+    tenants_report.set_defaults(func=_cmd_tenants)
 
     watch = sub.add_parser(
         "watch",

@@ -28,6 +28,11 @@ Everything else a production front end owes its callers:
 * **gossip** — learned experience circulates through the gateway's
   :class:`~repro.cluster.gossip.ExperienceGossip` ledger so every
   replica eventually knows every shop's symptom→failure rules;
+* **persistence** — ``--store PATH`` hands every replica the same
+  durable sqlite store (``repro.store``): caches and experience
+  survive restarts, and the gateway primes its gossip ledger from the
+  store at boot so the cluster-wide view never regresses past what
+  was already learned;
 * **aggregated ``/metrics``** — per-replica telemetry merged by
   :meth:`Telemetry.merge` (counters summed, percentiles recomputed
   from pooled reservoirs) plus ring, fleet-health and gossip state;
@@ -97,6 +102,7 @@ class ClusterConfig:
     supervise: bool = False  # per-replica fleet supervisor
     faults: str = ""  # JSON FaultPlan armed in the *gateway* (cluster.* points)
     replica_faults: str = ""  # JSON FaultPlan forwarded to every replica
+    store: str = ""  # shared durable store file, forwarded to every replica
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -117,6 +123,7 @@ class ClusterConfig:
             retries=self.retries,
             supervise=self.supervise,
             faults_json=self.replica_faults,
+            store_path=self.store,
         )
 
 
@@ -141,6 +148,8 @@ class ClusterGateway:
         self.ring = HashRing(self.fleet.replica_ids, vnodes=config.vnodes)
         self.gossip = ExperienceGossip()
         self.telemetry = Telemetry()
+        if config.store:
+            self._seed_gossip_from_store(config.store)
         self._local = threading.local()  # one forwarding client per thread
         width = max(4, config.replicas * config.workers + 2)
         self._forward = ThreadPoolExecutor(width, thread_name_prefix="forward")
@@ -157,6 +166,30 @@ class ClusterGateway:
         self._request_ids = itertools.count(1)
         self._id_prefix = uuid.uuid4().hex[:8]
         self.port: Optional[int] = None
+
+    def _seed_gossip_from_store(self, path: str) -> None:
+        """Prime the gossip ledger from the durable store at boot.
+
+        The gateway only *reads* the store — replicas own the writes
+        (each learner persists its own episodes; gossip deliveries are
+        never re-persisted) — so the connection opens, seeds, closes.
+        A fresh or empty store seeds nothing.
+        """
+        from repro.store import PUBLIC_TENANT, DiagnosisStore
+
+        store = DiagnosisStore(path)
+        try:
+            data, _version = store.load_experience(PUBLIC_TENANT)
+        finally:
+            store.close()
+        seeded = self.gossip.seed(data)
+        if seeded:
+            self.telemetry.incr("gossip_seeded_occurrences", seeded)
+            log.info(
+                json.dumps(
+                    {"event": "gossip_seeded", "occurrences": seeded, "store": path}
+                )
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -684,6 +717,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--replica-faults", default="",
         help="JSON fault plan forwarded to every replica subprocess",
     )
+    parser.add_argument(
+        "--store", default="",
+        help="durable sqlite store shared by every replica (caches and "
+        "experience survive restarts; the gateway seeds gossip from it)",
+    )
     return parser
 
 
@@ -706,6 +744,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             supervise=args.supervise,
             faults=args.faults,
             replica_faults=args.replica_faults,
+            store=args.store,
         )
     except ValueError as exc:
         print(f"bad cluster options: {exc}", flush=True)

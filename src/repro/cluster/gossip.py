@@ -28,6 +28,16 @@ rule are delivered at certainty ``1 - (1 - base)^k``, which a replica's
 noisy-or merge combines with its own view to exactly the certainty it
 would have reached had it witnessed every episode locally — replicas
 *converge* instead of drifting.
+
+Persistence changes the restart story: when the cluster shares a
+durable store (``--store``), the gateway primes the ledger from it at
+boot (:meth:`ExperienceGossip.seed`), and every replica restores the
+same experience on spawn.  A restored replica's ``/v1/experience``
+export annotates each restored rule with ``seed_occurrences`` — the
+count it *re-reports* rather than re-learned — and :meth:`observe`
+uses that as the expectation baseline for first-seen keys, so restored
+history is never double-counted as fresh evidence and never
+re-delivered to the replica that already holds it.
 """
 
 from __future__ import annotations
@@ -96,19 +106,55 @@ class ExperienceGossip:
             for entry in snapshot.get("rules", []):
                 key = _rule_key(entry)
                 reported = int(entry.get("occurrences", 1))
+                if key not in expected:
+                    # A replica that restored experience from a durable
+                    # store re-reports persisted occurrences; its export
+                    # marks how many (``seed_occurrences``) so they seed
+                    # the expectation instead of counting as fresh.
+                    baseline = int(entry.get("seed_occurrences", 0))
+                    if baseline > 0:
+                        expected[key] = baseline
                 delta = reported - expected.get(key, 0)
                 if delta > 0:
                     self._ledger[key] = self._ledger.get(key, 0) + delta
                     fresh += delta
                 expected[key] = max(expected.get(key, 0), reported)
             reported_episodes = int(snapshot.get("episode_count", 0))
-            episode_delta = reported_episodes - self._episodes.get(replica_id, 0)
+            episode_baseline = max(
+                self._episodes.get(replica_id, 0),
+                int(snapshot.get("seed_episode_count", 0)),
+            )
+            episode_delta = reported_episodes - episode_baseline
             if episode_delta > 0:
                 self.episode_total += episode_delta
-            self._episodes[replica_id] = max(
-                self._episodes.get(replica_id, 0), reported_episodes
-            )
+            self._episodes[replica_id] = max(episode_baseline, reported_episodes)
             return fresh
+
+    # ------------------------------------------------------------------
+    def seed(self, snapshot: Dict) -> int:
+        """Prime the ledger from a persisted experience snapshot (boot).
+
+        Raises each rule's cluster-wide total to at least its persisted
+        occurrence count — nothing is attributed to any replica and no
+        delivery state moves, so gossip proper starts from the durable
+        baseline instead of zero after a gateway restart.  Returns the
+        number of occurrences added.
+        """
+        with self._lock:
+            if snapshot.get("base_certainty") is not None:
+                self.base_certainty = float(snapshot["base_certainty"])
+            added = 0
+            for entry in snapshot.get("rules", []):
+                key = _rule_key(entry)
+                total = int(entry.get("occurrences", 1))
+                have = self._ledger.get(key, 0)
+                if total > have:
+                    self._ledger[key] = total
+                    added += total - have
+            episodes = int(snapshot.get("episode_count", 0))
+            if episodes > self.episode_total:
+                self.episode_total = episodes
+            return added
 
     # ------------------------------------------------------------------
     def pending(self, replica_id: str) -> Optional[Dict]:

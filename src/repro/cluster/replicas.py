@@ -69,6 +69,7 @@ class ReplicaConfig:
         supervise: bool = False,
         faults_json: str = "",
         verify_kernel: bool = False,
+        store_path: str = "",
     ) -> None:
         if workers < 1:
             raise ValueError("each replica needs at least one worker")
@@ -80,6 +81,9 @@ class ReplicaConfig:
         self.supervise = supervise
         self.faults_json = faults_json
         self.verify_kernel = verify_kernel
+        # One shared store file for the whole fleet: sqlite WAL handles
+        # the cross-process writers, and every respawn restores from it.
+        self.store_path = store_path
 
     def to_args(self) -> List[str]:
         args = [
@@ -96,6 +100,8 @@ class ReplicaConfig:
             args.extend(["--faults", self.faults_json])
         if self.verify_kernel:
             args.append("--verify-kernel")
+        if self.store_path:
+            args.extend(["--store", self.store_path])
         return args
 
 

@@ -19,11 +19,17 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.diagnosis import DiagnosisResult
 
-__all__ = ["SymptomSignature", "Episode", "LearnedRule", "ExperienceBase"]
+__all__ = [
+    "SymptomSignature",
+    "Episode",
+    "LearnedRule",
+    "ExperienceBase",
+    "rule_identity",
+]
 
 #: Consistency buckets: fully consistent / slightly off / partial / frank.
 _BUCKETS = (
@@ -39,6 +45,29 @@ def _bucket(degree: float) -> str:
         if degree >= threshold:
             return label
     return "conflict"  # pragma: no cover - the table is exhaustive
+
+
+def rule_identity(
+    signature: Union["SymptomSignature", Sequence[Sequence]],
+    component: str,
+    mode: str = "",
+) -> str:
+    """Canonical string identity of one symptom->failure rule.
+
+    Two rules are "the same rule" when their sorted signature entries,
+    component and mode all match — the equality `record`/`merge` use.
+    This renders that triple as one canonical JSON string so it can key
+    dictionaries, sqlite rows and gossip ledgers interchangeably,
+    whatever mix of tuples/lists the signature arrives as.
+    """
+    if isinstance(signature, SymptomSignature):
+        entries = signature.entries
+    else:
+        entries = tuple(sorted((str(p), str(b), int(d)) for p, b, d in signature))
+    return json.dumps(
+        [[list(e) for e in entries], str(component), str(mode)],
+        separators=(",", ":"),
+    )
 
 
 @dataclass(frozen=True)
@@ -137,17 +166,22 @@ class ExperienceBase:
         return len(self.rules)
 
     # ------------------------------------------------------------------
+    def _find(self, identity: str) -> "Optional[LearnedRule]":
+        """The stored rule with this :func:`rule_identity`, if any."""
+        for rule in self.rules:
+            if rule_identity(rule.signature, rule.component, rule.mode) == identity:
+                return rule
+        return None
+
     def record(self, episode: Episode) -> LearnedRule:
         """Store a confirmed diagnosis; induce or reinforce its rule."""
         self.episode_count += 1
-        for rule in self.rules:
-            if (
-                rule.signature == episode.signature
-                and rule.component == episode.component
-                and rule.mode == episode.mode
-            ):
-                rule.reinforce(self.base_certainty)
-                return rule
+        rule = self._find(
+            rule_identity(episode.signature, episode.component, episode.mode)
+        )
+        if rule is not None:
+            rule.reinforce(self.base_certainty)
+            return rule
         rule = LearnedRule(
             episode.signature, episode.component, episode.mode, self.base_certainty
         )
@@ -197,15 +231,10 @@ class ExperienceBase:
         occurrence counts; new rules are copied over.
         """
         for rule in other.rules:
-            for mine in self.rules:
-                if (
-                    mine.signature == rule.signature
-                    and mine.component == rule.component
-                    and mine.mode == rule.mode
-                ):
-                    mine.occurrences += rule.occurrences
-                    mine.certainty = 1.0 - (1.0 - mine.certainty) * (1.0 - rule.certainty)
-                    break
+            mine = self._find(rule_identity(rule.signature, rule.component, rule.mode))
+            if mine is not None:
+                mine.occurrences += rule.occurrences
+                mine.certainty = 1.0 - (1.0 - mine.certainty) * (1.0 - rule.certainty)
             else:
                 self.rules.append(
                     LearnedRule(

@@ -22,7 +22,12 @@ HTTP/JSON — stdlib asyncio only, no framework:
 """
 
 from repro.server.app import DiagnosisServer, ServerConfig, run
-from repro.server.client import ClientError, DiagnosisClient, ServerUnavailable
+from repro.server.client import (
+    AuthError,
+    ClientError,
+    DiagnosisClient,
+    ServerUnavailable,
+)
 from repro.server.http import HttpError, HttpRequest
 from repro.server.queueing import AdmissionQueue, QueueFullError
 
@@ -31,6 +36,7 @@ __all__ = [
     "ServerConfig",
     "run",
     "DiagnosisClient",
+    "AuthError",
     "ClientError",
     "ServerUnavailable",
     "HttpError",

@@ -22,8 +22,20 @@ diagnosis over HTTP/JSON (stdlib asyncio only):
   events during quiet stretches and closed by a terminal ``end`` event
   (``reason`` = ``complete`` or ``drain``);
 * ``GET/POST /v1/experience`` — the gossip surface: read the engine's
-  shared :class:`~repro.core.learning.ExperienceBase`, or merge a peer
-  replica's delta into it (noisy-or ``merge()`` semantics).
+  shared :class:`~repro.core.learning.ExperienceBase` (rules restored
+  from a persistence store carry ``seed_occurrences``), or merge a
+  peer replica's delta into it (noisy-or ``merge()`` semantics);
+* ``GET /v1/tenants/{id}/report`` — fleet-health summary over the
+  tenant's persisted diagnosis history (requires ``--store`` and the
+  tenant's own API key).
+
+**Tenancy** (requires ``--store``, see :mod:`repro.store`): requests
+may authenticate with ``Authorization: Bearer <key>`` or ``X-Api-Key``.
+A resolved tenant gets isolated cache/experience namespaces threaded
+through the engine and a fixed-window request quota (breach → ``429``
+with ``Retry-After``); an unknown key is a ``401``; requests without
+credentials stay in the shared public namespace, byte-identical to the
+pre-tenant behavior.
 
 Operational behaviour, in one place:
 
@@ -60,13 +72,17 @@ import functools
 import itertools
 import json
 import logging
+import math
 import re
 import signal
 import time
 import uuid
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.db import TenantRecord
 
 from repro.resilience import FaultPlan, FleetSupervisor, faults
 from repro.runtime.context import RunContext
@@ -91,6 +107,9 @@ log = logging.getLogger("repro.server")
 #: Shape a client-supplied X-Request-Id must match to be honoured.
 _REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
+#: The fleet-health reporting route: GET /v1/tenants/{id}/report.
+_TENANT_REPORT_RE = re.compile(r"^/v1/tenants/([^/]+)/report$")
+
 
 @dataclass
 class ServerConfig:
@@ -109,6 +128,8 @@ class ServerConfig:
     supervise: bool = False  # engage the FleetSupervisor (quarantine + breaker)
     faults: str = ""  # JSON FaultPlan armed server-wide (chaos testing only)
     verify_kernel: bool = False  # differential-check every fast-kernel run
+    store: str = ""  # sqlite persistence-plane path; "" = in-memory only
+    disk_cache_size: int = 4096  # store cache-table row bound
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -130,6 +151,18 @@ class DiagnosisServer:
 
     def __init__(self, config: ServerConfig, engine: Optional[FleetEngine] = None):
         self.config = config
+        # The persistence plane is entirely optional: without --store the
+        # server is byte-identical to the in-memory-only build and none
+        # of repro.store is even imported.
+        self.store = None
+        self.tenants = None
+        self.quotas = None
+        if config.store:
+            from repro.store import DiagnosisStore, QuotaTracker, TenantRegistry
+
+            self.store = DiagnosisStore(config.store)
+            self.tenants = TenantRegistry(self.store)
+            self.quotas = QuotaTracker()
         self.engine = engine or FleetEngine(
             workers=config.workers,
             executor="thread",
@@ -138,6 +171,8 @@ class DiagnosisServer:
             supervisor=FleetSupervisor() if config.supervise else None,
             fault_plan=FaultPlan.from_json(config.faults) if config.faults else None,
             verify_kernel=config.verify_kernel,
+            store=self.store,
+            disk_cache_size=config.disk_cache_size,
         )
         self.telemetry = self.engine.telemetry
         self.admission = AdmissionQueue(config.workers, config.queue_size)
@@ -226,6 +261,8 @@ class DiagnosisServer:
             await asyncio.gather(*connections, return_exceptions=True)
         self._executor.shutdown(wait=drained)
         self._stream_executor.shutdown(wait=drained)
+        if self.store is not None:
+            self.store.close()
         self.telemetry.event("server_drain_end", clean=drained)
         log.info(
             json.dumps(
@@ -378,7 +415,7 @@ class DiagnosisServer:
             return 200, self._metrics(samples=samples), {}
         if path == "/v1/experience":
             if method == "GET":
-                return 200, self.engine.experience_snapshot(), {}
+                return 200, self._experience_export(), {}
             if method == "POST":
                 return self._handle_experience_merge(request, request_id)
             raise HttpError(405, "use GET or POST", {"Allow": "GET, POST"})
@@ -390,7 +427,103 @@ class DiagnosisServer:
             if method != "POST":
                 raise HttpError(405, "use POST", {"Allow": "POST"})
             return await self._handle_batch(request, request_id)
+        report_match = _TENANT_REPORT_RE.match(path)
+        if report_match:
+            if method != "GET":
+                raise HttpError(405, "use GET", {"Allow": "GET"})
+            return self._handle_tenant_report(request, request_id, report_match.group(1))
         raise HttpError(404, f"no route {path!r}")
+
+    # ------------------------------------------------------------------
+    # Tenancy (auth middleware, quotas, reporting)
+    # ------------------------------------------------------------------
+    def _resolve_tenant(self, request: HttpRequest) -> "Optional[TenantRecord]":
+        """Auth middleware: the request's tenant, or None for public.
+
+        Credentials ride ``Authorization: Bearer <key>`` (preferred) or
+        ``X-Api-Key``.  A request without credentials is *public* — the
+        shared namespace, never rejected.  A request **with** a key that
+        resolves to no tenant is a 401: a caller who presented identity
+        must not silently fall back to the shared pool.  Without a store
+        there are no tenants, so keys are ignored entirely.
+        """
+        auth = request.headers.get("authorization", "")
+        api_key = auth[7:].strip() if auth.lower().startswith("bearer ") else ""
+        if not api_key:
+            api_key = request.headers.get("x-api-key", "").strip()
+        if not api_key or self.tenants is None:
+            return None
+        record = self.tenants.resolve(api_key)
+        if record is None:
+            self.telemetry.incr("auth_rejections")
+            raise HttpError(401, "unknown API key", {"WWW-Authenticate": "Bearer"})
+        return record
+
+    def _check_quota(self, tenant: "Optional[TenantRecord]") -> None:
+        """Enforce the tenant's request quota (429 + Retry-After on breach)."""
+        if tenant is None or self.quotas is None:
+            return
+        decision = self.quotas.check(tenant)
+        if not decision:
+            self.telemetry.incr("quota_rejections")
+            raise HttpError(
+                429,
+                f"tenant {tenant.tenant_id!r} exceeded "
+                f"{tenant.quota_limit} requests per {tenant.quota_interval:g}s",
+                {"Retry-After": str(max(1, math.ceil(decision.retry_after)))},
+            )
+
+    def _handle_tenant_report(
+        self, request: HttpRequest, request_id: str, tenant_id: str
+    ) -> Tuple[int, object, Dict[str, str]]:
+        """Fleet-health report over the tenant's persisted history.
+
+        Tenants read their *own* report: the request must authenticate
+        as ``tenant_id`` (401 without credentials, 403 as someone else).
+        """
+        if self.store is None:
+            raise HttpError(404, "no persistence store armed (serve with --store)")
+        tenant = self._resolve_tenant(request)
+        if tenant is None:
+            raise HttpError(401, "API key required", {"WWW-Authenticate": "Bearer"})
+        if tenant.tenant_id != tenant_id:
+            raise HttpError(403, f"key does not belong to tenant {tenant_id!r}")
+        try:
+            limit = int(request.query.get("limit", "0") or 0)
+        except ValueError:
+            raise HttpError(400, "limit must be an integer") from None
+        from repro.store import build_report
+
+        report = build_report(self.store, tenant_id, limit=max(0, limit))
+        if report is None:  # pragma: no cover - key just resolved to it
+            raise HttpError(404, f"no tenant {tenant_id!r}")
+        report["request_id"] = request_id
+        return 200, report, {}
+
+    def _experience_export(self) -> Dict:
+        """The gossip export, annotated with store-restored baselines.
+
+        Each rule restored from the store at boot carries its
+        ``seed_occurrences`` so a gossip peer can tell persisted history
+        from fresh evidence after this replica restarts (the ledger uses
+        it as the expectation baseline instead of zero).  Without a
+        store the payload is exactly the plain snapshot.
+        """
+        snapshot = self.engine.experience_snapshot()
+        seed = self.engine.experience_seed
+        if seed:
+            from repro.core.learning import rule_identity
+
+            for entry in snapshot["rules"]:
+                occurrences = seed.get(
+                    rule_identity(entry["signature"], entry["component"], entry["mode"])
+                )
+                if occurrences:
+                    entry["seed_occurrences"] = occurrences
+        seed_episodes = getattr(self.engine, "experience_seed_episodes", 0)
+        if seed_episodes:
+            snapshot["seed_episode_count"] = seed_episodes
+        return snapshot
 
     def _uptime(self) -> float:
         return round(time.monotonic() - self._started, 3)
@@ -411,6 +544,8 @@ class DiagnosisServer:
                 else None
             ),
             "experience_rules": len(self.engine.experience),
+            "store": self.store.snapshot() if self.store is not None else None,
+            "quota": self.quotas.snapshot() if self.quotas is not None else None,
             "telemetry": self.telemetry.snapshot(samples=samples),
         }
 
@@ -422,6 +557,8 @@ class DiagnosisServer:
         self, request: HttpRequest, request_id: str
     ) -> Tuple[int, object, Dict[str, str]]:
         self._reject_if_draining()
+        tenant = self._resolve_tenant(request)
+        self._check_quota(tenant)
         spec = request.json()
         try:
             job = job_from_spec(spec, index=0)
@@ -431,7 +568,12 @@ class DiagnosisServer:
         ctx = RunContext.with_timeout(
             self.config.timeout, trace_id=request_id, tracing=tracing
         )
-        result = await self._admitted(self.engine.run_job, job, ctx=ctx)
+        run = (
+            functools.partial(self.engine.run_job, tenant=tenant.tenant_id)
+            if tenant is not None
+            else self.engine.run_job
+        )
+        result = await self._admitted(run, job, ctx=ctx)
         payload = result.to_dict()
         payload["request_id"] = request_id
         if result.status == "interrupted":
@@ -470,6 +612,8 @@ class DiagnosisServer:
         self, request: HttpRequest, request_id: str
     ) -> Tuple[int, object, Dict[str, str]]:
         self._reject_if_draining()
+        tenant = self._resolve_tenant(request)
+        self._check_quota(tenant)
         body = request.json()
         specs = body.get("jobs") if isinstance(body, dict) else body
         if not isinstance(specs, list) or not specs:
@@ -480,7 +624,12 @@ class DiagnosisServer:
             ]
         except ManifestError as exc:
             raise HttpError(400, str(exc)) from None
-        report = await self._admitted(self.engine.run_batch, jobs)
+        run = (
+            functools.partial(self.engine.run_batch, tenant=tenant.tenant_id)
+            if tenant is not None
+            else self.engine.run_batch
+        )
+        report = await self._admitted(run, jobs)
         payload = {
             "request_id": request_id,
             "results": [r.to_dict() for r in report.results],
@@ -511,6 +660,7 @@ class DiagnosisServer:
             if request.method != "GET":
                 raise HttpError(405, "use GET", {"Allow": "GET"})
             self._reject_if_draining()
+            self._check_quota(self._resolve_tenant(request))
             if self._streams_active >= self.config.max_streams:
                 raise HttpError(
                     503,
@@ -725,6 +875,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="differentially check every fast-kernel run against the "
         "reference engine (expensive; chaos/soak runs only)",
     )
+    parser.add_argument(
+        "--store", default="",
+        help="sqlite persistence-plane path (durable cache + experience, "
+        "tenant auth/quotas, diagnosis history); default: in-memory only",
+    )
     return parser
 
 
@@ -745,6 +900,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             verify_kernel=args.verify_kernel,
             max_streams=args.max_streams,
             heartbeat=args.heartbeat,
+            store=args.store,
         )
     except ValueError as exc:
         print(f"bad server options: {exc}", flush=True)

@@ -39,16 +39,39 @@ from __future__ import annotations
 
 import http.client
 import json
+import logging
 import random
 import socket
 import time
 import uuid
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["DiagnosisClient", "ClientError", "ServerUnavailable"]
+__all__ = ["DiagnosisClient", "ClientError", "AuthError", "ServerUnavailable"]
+
+log = logging.getLogger("repro.client")
 
 #: An endpoint as the client keys it internally: ``(host, port)``.
 Endpoint = Tuple[str, int]
+
+#: Header names whose values are credentials — never logged verbatim.
+_SENSITIVE_HEADERS = frozenset({"authorization", "x-api-key"})
+
+
+def redact_headers(headers: Dict[str, str]) -> Dict[str, str]:
+    """A copy of ``headers`` with credential values masked for logging.
+
+    The scheme word of an ``Authorization`` value survives (``Bearer
+    ***``) — it is diagnostic; the credential itself never is.  Applied
+    on *every* log call, so retry attempts cannot leak the key either.
+    """
+    safe = {}
+    for name, value in headers.items():
+        if name.lower() in _SENSITIVE_HEADERS:
+            scheme, _, rest = value.partition(" ")
+            safe[name] = f"{scheme} ***" if rest else "***"
+        else:
+            safe[name] = value
+    return safe
 
 
 def _parse_endpoint(spec: object) -> Endpoint:
@@ -85,6 +108,17 @@ class ClientError(Exception):
         super().__init__(f"HTTP {status}: {message or payload}")
         self.status = status
         self.payload = payload
+        #: The server's ``Retry-After`` header, when one accompanied the
+        #: error (quota 429s and load-shed 503s send one).
+        self.retry_after: Optional[str] = None
+
+
+class AuthError(ClientError):
+    """401/403: the API key is missing, unknown, or the wrong tenant's.
+
+    Typed so callers can tell "fix your credentials" from every other
+    client failure — an auth problem is never solved by retrying.
+    """
 
 
 class ServerUnavailable(ClientError):
@@ -110,6 +144,13 @@ class DiagnosisClient:
             hints (keeps tests and interactive callers snappy).
         rng: jitter source; pass a seeded ``random.Random`` for a
             deterministic retry schedule (tests, replayable chaos runs).
+        api_key: tenant credential, sent as ``Authorization: Bearer``
+            on every request (and every retry attempt).  The key never
+            appears in log output — request logging redacts it.  A
+            server answering 401/403 raises the typed
+            :class:`AuthError`.
+        api_key_header: set to ``"x-api-key"`` to send the credential
+            as the ``X-Api-Key`` header instead of ``Authorization``.
     """
 
     def __init__(
@@ -122,6 +163,8 @@ class DiagnosisClient:
         max_delay: float = 2.0,
         rng: Optional[random.Random] = None,
         base_urls: Optional[Sequence[object]] = None,
+        api_key: str = "",
+        api_key_header: str = "authorization",
     ) -> None:
         if base_urls:
             self.endpoints: List[Endpoint] = [_parse_endpoint(u) for u in base_urls]
@@ -134,6 +177,10 @@ class DiagnosisClient:
         self.backoff = backoff
         self.max_delay = max_delay
         self.rng = rng if rng is not None else random.Random()
+        if api_key_header.lower() not in ("authorization", "x-api-key"):
+            raise ValueError("api_key_header must be 'authorization' or 'x-api-key'")
+        self.api_key = api_key
+        self.api_key_header = api_key_header.lower()
         self._conns: Dict[Endpoint, http.client.HTTPConnection] = {}
         self.attempts_made = 0  # lifetime request attempts (visible to tests)
         self.last_endpoint: Optional[Endpoint] = None  # who answered last
@@ -195,6 +242,11 @@ class DiagnosisClient:
         # attempts — the server adopts it, so retries share one trace.
         request_id = f"cli-{uuid.uuid4().hex[:16]}"
         headers = {"Accept": "application/json", "X-Request-Id": request_id}
+        if self.api_key:
+            if self.api_key_header == "x-api-key":
+                headers["X-Api-Key"] = self.api_key
+            else:
+                headers["Authorization"] = f"Bearer {self.api_key}"
         if payload is not None:
             body = json.dumps(payload).encode()
             headers["Content-Type"] = "application/json"
@@ -216,6 +268,14 @@ class DiagnosisClient:
                     )
                 )
             self.attempts_made += 1
+            if log.isEnabledFor(logging.DEBUG):
+                # Every attempt's headers go through redaction — a retry
+                # must be exactly as credential-silent as the first try.
+                log.debug(
+                    "attempt %d %s %s -> %s:%d headers=%s",
+                    attempt + 1, method, path, target[0], target[1],
+                    redact_headers(headers),
+                )
             try:
                 conn = self._connection(target)
                 conn.request(method, path, body=body, headers=headers)
@@ -230,15 +290,18 @@ class DiagnosisClient:
             if response.status == 503 and retry_503:
                 last_error = ClientError(503, data)
                 last_error_endpoint = target
-                retry_after = response.getheader("Retry-After")
-                if retry_after is not None:
-                    last_error.retry_after = retry_after  # type: ignore[attr-defined]
+                last_error.retry_after = response.getheader("Retry-After")
                 if response.getheader("Connection", "").lower() == "close":
                     self._drop_connection(target)
                 continue
             if response.status >= 400:
                 self.last_endpoint = target
-                raise ClientError(response.status, data)
+                if response.status in (401, 403):
+                    error: ClientError = AuthError(response.status, data)
+                else:
+                    error = ClientError(response.status, data)
+                error.retry_after = response.getheader("Retry-After")
+                raise error
             self.last_endpoint = target
             return data
         if isinstance(last_error, ClientError):
@@ -333,3 +396,18 @@ class DiagnosisClient:
     ) -> Dict:
         """POST an experience delta for the replica to merge (gossip)."""
         return self._request("POST", "/v1/experience", data, endpoints=endpoints)
+
+    def tenant_report(
+        self,
+        tenant_id: str,
+        limit: int = 0,
+        endpoints: Optional[Sequence[object]] = None,
+    ) -> Dict:
+        """GET the tenant's fleet-health report (requires this client's
+        ``api_key`` to belong to ``tenant_id``; 401/403 →
+        :class:`AuthError`).  ``limit`` restricts the fold to the most
+        recent N history rows."""
+        path = f"/v1/tenants/{tenant_id}/report"
+        if limit > 0:
+            path += f"?limit={int(limit)}"
+        return self._request("GET", path, endpoints=endpoints)

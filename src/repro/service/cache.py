@@ -56,6 +56,8 @@ class ResultCache:
         self._entries: "OrderedDict[str, list]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
+        self.hits_mem = 0
+        self.hits_disk = 0
         self.misses = 0
         self.evictions = 0
         self.corruptions = 0
@@ -72,15 +74,39 @@ class ResultCache:
     def get(self, key: str) -> Optional[JobResult]:
         """Look up a result, counting the hit/miss and refreshing recency.
 
-        The entry's integrity seal is verified first; a corrupt entry is
-        purged and counted as a miss (plus ``corruptions``) — corruption
-        degrades the hit rate, it never crashes a batch or serves a
-        poisoned result.
+        The memory tier is probed first, then ``_get_disk`` (a no-op in
+        the in-memory base class; the persistent cache overrides it) —
+        ``hits_mem``/``hits_disk`` record which tier answered and always
+        sum to ``hits``.  The entry's integrity seal is verified on
+        every path; a corrupt entry is purged and counted as a miss
+        (plus ``corruptions``) — corruption degrades the hit rate, it
+        never crashes a batch or serves a poisoned result.
+        """
+        result = self._get_mem(key)
+        if result is not None:
+            with self._lock:
+                self.hits += 1
+                self.hits_mem += 1
+            return result
+        result = self._get_disk(key)
+        if result is not None:
+            with self._lock:
+                self.hits += 1
+                self.hits_disk += 1
+            return result
+        with self._lock:
+            self.misses += 1
+        return None
+
+    def _get_mem(self, key: str) -> Optional[JobResult]:
+        """Memory-tier probe: verify the seal, purge on corruption.
+
+        Counts only ``corruptions`` — the hit/miss bookkeeping lives in
+        the public ``get`` so subclasses can layer tiers underneath.
         """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
-                self.misses += 1
                 return None
             result, blob, digest = entry
             if faults.maybe_fire("cache.corrupt", key) is not None:
@@ -90,17 +116,22 @@ class ResultCache:
             if hashlib.sha256(blob.encode()).hexdigest() != digest:
                 del self._entries[key]
                 self.corruptions += 1
-                self.misses += 1
                 return None
             self._entries.move_to_end(key)
-            self.hits += 1
             return result
+
+    def _get_disk(self, key: str) -> Optional[JobResult]:
+        """Disk-tier probe — nothing beneath the in-memory base class."""
+        return None
 
     def put(self, key: str, result: JobResult) -> None:
         """Store a result, evicting the least-recently-used overflow."""
         if self.capacity == 0:
             return
         blob, digest = _seal(result)
+        self._put_mem(key, result, blob, digest)
+
+    def _put_mem(self, key: str, result: JobResult, blob: str, digest: str) -> None:
         with self._lock:
             self._entries[key] = [result, blob, digest]
             self._entries.move_to_end(key)
@@ -140,6 +171,8 @@ class ResultCache:
                 "capacity": self.capacity,
                 "size": len(self._entries),
                 "hits": self.hits,
+                "hits_mem": self.hits_mem,
+                "hits_disk": self.hits_disk,
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "corruptions": self.corruptions,

@@ -46,7 +46,10 @@ from concurrent.futures import (
 )
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.db import DiagnosisStore
 
 from repro.core.diagnosis import Flames
 from repro.core.knowledge import KnowledgeBase
@@ -302,6 +305,18 @@ class FleetEngine:
             run against the reference engine; a mismatch counts as a
             breaker failure and the reference result wins.  Expensive —
             chaos/soak runs only.
+        store: an optional :class:`~repro.store.db.DiagnosisStore` — the
+            persistence plane.  When armed (and no explicit ``cache``
+            was passed) the result cache becomes the two-tier
+            :class:`~repro.store.cache.PersistentResultCache`, the
+            shared experience base is restored from the store at boot
+            (its restored occurrence counts are kept in
+            ``experience_seed`` so gossip can tell restored from fresh),
+            every merge writes through per tenant, and each result
+            appends a diagnosis-history row.  ``None`` (the default)
+            keeps everything in-memory and byte-identical to before.
+        disk_cache_size: row bound of the store's cache table when the
+            engine builds the persistent cache itself.
     """
 
     def __init__(
@@ -318,6 +333,8 @@ class FleetEngine:
         supervisor: Optional[FleetSupervisor] = None,
         fault_plan: Optional[faults.FaultPlan] = None,
         verify_kernel: bool = False,
+        store: "Optional[DiagnosisStore]" = None,
+        disk_cache_size: int = 4096,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -329,9 +346,34 @@ class FleetEngine:
         self.executor_kind = executor
         self.timeout = timeout
         self.retries = retries
+        self.store = store
+        if cache is None and store is not None:
+            from repro.store.cache import PersistentResultCache
+
+            cache = PersistentResultCache(
+                store, capacity=cache_size, disk_capacity=disk_cache_size
+            )
         self.cache = cache if cache is not None else ResultCache(cache_size)
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        #: rule identity -> occurrences restored from the store at boot.
+        #: Gossip peers subtract this baseline so a restarted replica
+        #: never re-reports persisted occurrences as fresh evidence.
+        self.experience_seed: Dict[str, int] = {}
+        self.experience_seed_episodes = 0
+        if experience is None and store is not None:
+            from repro.core.learning import rule_identity
+            from repro.store.db import PUBLIC_TENANT
+
+            data, _version = store.load_experience(PUBLIC_TENANT)
+            experience = ExperienceBase.from_dict(data)
+            self.experience_seed = {
+                rule_identity(r.signature, r.component, r.mode): r.occurrences
+                for r in experience.rules
+            }
+            self.experience_seed_episodes = int(data.get("episode_count", 0))
         self.experience = experience if experience is not None else ExperienceBase()
+        #: tenant id -> that tenant's isolated base, lazily restored.
+        self._tenant_experience: Dict[str, ExperienceBase] = {}
         self._experience_lock = threading.Lock()
         self.tracing = bool(tracing)
         self.supervisor = supervisor
@@ -348,8 +390,16 @@ class FleetEngine:
     # ------------------------------------------------------------------
     # The pipeline
     # ------------------------------------------------------------------
-    def run_batch(self, jobs: Sequence[DiagnosisJob]) -> BatchReport:
-        """Diagnose a fleet; returns one result per job, in job order."""
+    def run_batch(
+        self, jobs: Sequence[DiagnosisJob], tenant: Optional[str] = None
+    ) -> BatchReport:
+        """Diagnose a fleet; returns one result per job, in job order.
+
+        ``tenant`` namespaces the cache lookups and the experience merge
+        (``None`` = the shared public pool, the pre-tenant behavior).
+        Results always carry the *raw* content hash — tenancy changes
+        where state lands, never what a diagnosis says.
+        """
         started = time.perf_counter()
         tel = self.telemetry
         tel.incr("batches")
@@ -366,7 +416,7 @@ class FleetEngine:
                 if self.supervisor is not None and self.supervisor.is_quarantined(key):
                     results[index] = self._quarantined_result(job, key)
                     continue
-                cached = self.cache.get(key)
+                cached = self.cache.get(self._cache_key(key, tenant))
                 if cached is not None:
                     results[index] = cached.relabel(job.unit)
                 elif key in leaders:
@@ -381,12 +431,12 @@ class FleetEngine:
             outcome = executed[key]
             results[index] = outcome
             if outcome.completed:
-                self.cache.put(key, outcome)
+                self.cache.put(self._cache_key(key, tenant), outcome)
             for follower in followers.get(key, []):
                 if outcome.completed:
                     # Replay through the cache so in-batch duplicates are
                     # counted exactly like warm-pass hits.
-                    stored = self.cache.get(key)
+                    stored = self.cache.get(self._cache_key(key, tenant))
                     if stored is not None:
                         results[follower] = stored.relabel(jobs[follower].unit)
                         continue
@@ -395,12 +445,16 @@ class FleetEngine:
         ordered = [results[i] for i in range(len(jobs))]
 
         with tel.phase("fleet.merge"):
-            learned = self._merge_experience(jobs, ordered)
+            learned = self._merge_experience(jobs, ordered, tenant=tenant)
 
         for res in ordered:
-            self._record_result(res)
+            self._record_result(res, tenant=tenant)
         cache_snap = self.cache.snapshot()
         tel.incr("cache_hits", cache_snap["hits"] - tel.counter("cache_hits"))
+        tel.incr("cache_hits_mem", cache_snap["hits_mem"] - tel.counter("cache_hits_mem"))
+        tel.incr(
+            "cache_hits_disk", cache_snap["hits_disk"] - tel.counter("cache_hits_disk")
+        )
         tel.incr("cache_misses", cache_snap["misses"] - tel.counter("cache_misses"))
 
         wall = time.perf_counter() - started
@@ -413,7 +467,12 @@ class FleetEngine:
             rules_learned=learned,
         )
 
-    def run_job(self, job: DiagnosisJob, ctx: Optional[RunContext] = None) -> JobResult:
+    def run_job(
+        self,
+        job: DiagnosisJob,
+        ctx: Optional[RunContext] = None,
+        tenant: Optional[str] = None,
+    ) -> JobResult:
         """Diagnose one unit synchronously through the shared state.
 
         The long-lived-owner entry point the diagnosis server calls from
@@ -424,15 +483,18 @@ class FleetEngine:
         experience each guard themselves.  A caller-supplied ``ctx``
         carries the request's deadline, cancel token and trace id into
         the engine (the server's per-request budget); otherwise the
-        engine's own ``timeout``/``tracing`` settings apply.
+        engine's own ``timeout``/``tracing`` settings apply.  ``tenant``
+        namespaces cache and experience exactly as in ``run_batch``;
+        quarantine stays keyed on the raw content hash (a poison job is
+        poison for everyone).
         """
         tel = self.telemetry
         key = job.content_hash
         if self.supervisor is not None and self.supervisor.is_quarantined(key):
             result = self._quarantined_result(job, key)
-            self._record_result(result)
+            self._record_result(result, tenant=tenant)
             return result
-        cached = self.cache.get(key)
+        cached = self.cache.get(self._cache_key(key, tenant))
         if cached is not None:
             result = cached.relabel(job.unit)
         else:
@@ -459,10 +521,18 @@ class FleetEngine:
                 result = self._to_result(job, key, payload, attempts)
             if result.completed:
                 # Interrupted results are partial: never cached.
-                self.cache.put(key, result)
-        self._merge_experience([job], [result])
-        self._record_result(result)
+                self.cache.put(self._cache_key(key, tenant), result)
+        self._merge_experience([job], [result], tenant=tenant)
+        self._record_result(result, tenant=tenant)
         return result
+
+    def _cache_key(self, content_hash: str, tenant: Optional[str]) -> str:
+        """The cache key ``tenant`` sees for this content (raw when public)."""
+        if tenant is None:
+            return content_hash
+        from repro.store.cache import namespaced_key
+
+        return namespaced_key(content_hash, tenant)
 
     def _breaker(self) -> Optional[CircuitBreaker]:
         """The in-process kernel breaker (None without a supervisor)."""
@@ -493,10 +563,11 @@ class FleetEngine:
             return False
         return self.supervisor.record_failure(key, str(payload.get("error", "")))
 
-    def _record_result(self, res: JobResult) -> None:
+    def _record_result(self, res: JobResult, tenant: Optional[str] = None) -> None:
         """Per-result counters shared by ``run_batch`` and ``run_job``."""
         tel = self.telemetry
         tel.incr(f"jobs_{res.status}")
+        self._record_history(res, tenant)
         if res.cache_hit:
             return
         if res.elapsed:
@@ -508,6 +579,33 @@ class FleetEngine:
             tel.incr("nogoods_found", stats.get("nogoods", 0))
         if res.trace:
             tel.record_trace(res.trace)
+
+    def _record_history(self, res: JobResult, tenant: Optional[str]) -> None:
+        """Append one diagnosis-history row when the store is armed.
+
+        History is reporting, not diagnosis: a failed write degrades the
+        fleet-health report (and counts ``history_write_errors``), it
+        never fails the job.
+        """
+        if self.store is None:
+            return
+        from repro.store.db import PUBLIC_TENANT
+
+        candidates = res.candidates()
+        try:
+            self.store.record_history(
+                tenant or PUBLIC_TENANT,
+                res.unit,
+                res.content_hash,
+                res.status,
+                res.is_consistent,
+                candidates[0][0] if candidates else "",
+                res.elapsed,
+                res.cache_hit,
+            )
+        except Exception as exc:
+            self.telemetry.incr("history_write_errors")
+            log.warning("history write failed: %s: %s", type(exc).__name__, exc)
 
     # ------------------------------------------------------------------
     # Execution with retry / timeout / graceful degradation
@@ -689,10 +787,42 @@ class FleetEngine:
     # ------------------------------------------------------------------
     # Experience merge
     # ------------------------------------------------------------------
+    def _experience_for(self, tenant: Optional[str]) -> ExperienceBase:
+        """The base ``tenant`` learns into (lazily restored from the store).
+
+        Call with the experience lock held.
+        """
+        if tenant is None:
+            return self.experience
+        base = self._tenant_experience.get(tenant)
+        if base is None:
+            if self.store is not None:
+                data, _version = self.store.load_experience(tenant)
+                base = ExperienceBase.from_dict(data)
+            else:
+                base = ExperienceBase(base_certainty=self.experience.base_certainty)
+            self._tenant_experience[tenant] = base
+        return base
+
+    def _persist_experience(self, tenant: Optional[str], delta: Dict) -> None:
+        """Write one merge delta through to the store (when armed)."""
+        if self.store is None:
+            return
+        from repro.store.db import PUBLIC_TENANT
+
+        try:
+            self.store.merge_experience(tenant or PUBLIC_TENANT, delta)
+        except Exception as exc:
+            self.telemetry.incr("experience_write_errors")
+            log.warning("experience write failed: %s: %s", type(exc).__name__, exc)
+
     def _merge_experience(
-        self, jobs: Sequence[DiagnosisJob], results: Sequence[JobResult]
+        self,
+        jobs: Sequence[DiagnosisJob],
+        results: Sequence[JobResult],
+        tenant: Optional[str] = None,
     ) -> int:
-        """Fold the batch's confirmed repairs into the shared base."""
+        """Fold the batch's confirmed repairs into the tenant's base."""
         batch = ExperienceBase(base_certainty=self.experience.base_certainty)
         for job, result in zip(jobs, results):
             if not job.confirm or not result.ok:
@@ -704,26 +834,33 @@ class FleetEngine:
             batch.record(Episode(SymptomSignature.from_list(entries), component, mode))
         if len(batch):
             with self._experience_lock:
-                self.experience.merge(batch)
+                self._experience_for(tenant).merge(batch)
             self.telemetry.incr("episodes_recorded", batch.episode_count)
+            self._persist_experience(tenant, batch.to_dict())
         return len(batch)
 
-    def experience_snapshot(self) -> Dict:
-        """The shared base as plain data (the server's gossip endpoint)."""
+    def experience_snapshot(self, tenant: Optional[str] = None) -> Dict:
+        """A base as plain data (the server's gossip/report endpoints)."""
         with self._experience_lock:
-            return self.experience.to_dict()
+            return self._experience_for(tenant).to_dict()
 
-    def absorb_experience(self, data: Dict) -> int:
+    def absorb_experience(self, data: Dict, tenant: Optional[str] = None) -> int:
         """Merge a peer replica's experience delta into the shared base.
 
         ``data`` is an :meth:`ExperienceBase.to_dict` payload (typically
         a gossip *delta*: only the occurrences a peer learned since the
         last round).  Returns the number of rules in the delta; merge
         semantics are the existing noisy-or :meth:`ExperienceBase.merge`.
+
+        Absorbed deltas are deliberately *not* written through to the
+        store: cluster replicas share one store file, so the replica
+        that learned the episode already persisted it — re-persisting on
+        every gossip delivery would double-count occurrences after a
+        restart.
         """
         delta = ExperienceBase.from_dict(data)
         if len(delta):
             with self._experience_lock:
-                self.experience.merge(delta)
+                self._experience_for(tenant).merge(delta)
             self.telemetry.incr("experience_absorbed_rules", len(delta))
         return len(delta)

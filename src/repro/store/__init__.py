@@ -1,0 +1,40 @@
+"""The persistence plane: durable cache, durable experience, tenants.
+
+``repro.store`` gives the fleet's process-lifetime state a sqlite home
+(stdlib ``sqlite3``, WAL mode) so restarts are warm and callers can be
+isolated per tenant:
+
+* :class:`DiagnosisStore` — the one-file schema: sealed cache rows,
+  versioned per-tenant experience rules, API-key tenant records and
+  diagnosis history (:mod:`repro.store.db`);
+* :class:`PersistentResultCache` — the two-tier result cache the fleet
+  engine swaps in when a store is armed (:mod:`repro.store.cache`);
+* :class:`TenantRegistry` / :class:`QuotaTracker` — auth resolution
+  and fixed-window quotas at the server boundary
+  (:mod:`repro.store.tenants`);
+* :func:`build_report` — fleet-health summaries over persisted history
+  (:mod:`repro.store.reports`).
+
+Everything degrades away cleanly: without ``--store`` no module here
+is imported on the hot path and behavior is byte-identical to the
+in-memory planes.
+"""
+
+from repro.store.cache import NAMESPACE_SEP, PersistentResultCache, namespaced_key
+from repro.store.db import PUBLIC_TENANT, DiagnosisStore, StoreError, TenantRecord
+from repro.store.reports import build_report
+from repro.store.tenants import QuotaDecision, QuotaTracker, TenantRegistry
+
+__all__ = [
+    "DiagnosisStore",
+    "StoreError",
+    "TenantRecord",
+    "PUBLIC_TENANT",
+    "PersistentResultCache",
+    "NAMESPACE_SEP",
+    "namespaced_key",
+    "TenantRegistry",
+    "QuotaTracker",
+    "QuotaDecision",
+    "build_report",
+]

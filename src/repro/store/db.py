@@ -1,0 +1,604 @@
+"""The persistence plane: one sqlite3 file under everything learned.
+
+Everything the fleet accumulates — warm cache entries, the experience
+base's symptom→failure rules, tenant identities and the diagnosis
+history — used to die with the process.  :class:`DiagnosisStore` makes
+that state a durable, versioned artifact on disk (stdlib ``sqlite3``
+only), shared by every layer that owns state:
+
+* **result cache rows** — the disk tier beneath
+  :class:`~repro.store.cache.PersistentResultCache`: sealed
+  ``(blob, sha256 digest)`` pairs keyed ``(namespace, content_hash)``,
+  LRU-ordered by an access sequence and evicted by row count.  A row
+  whose digest no longer matches its blob is *purged and reported* —
+  bit rot degrades the hit rate, it never serves a poisoned result;
+* **experience rules** — a versioned, per-tenant
+  :class:`~repro.core.learning.ExperienceBase` projection.  Deltas
+  merge with the exact noisy-or semantics of
+  :meth:`ExperienceBase.merge` (``1 - (1-c1)(1-c2)``, occurrence
+  counts summed) inside one write transaction, and every merge bumps
+  the tenant's experience version — replicas can tell "restored state"
+  from "new evidence";
+* **tenants** — API-key identities (sha256 digests only; the plain
+  key is printed once at provisioning and never stored) with
+  per-tenant request quotas;
+* **history** — one row per diagnosis outcome, the raw material the
+  fleet-health report (:mod:`repro.store.reports`) folds into
+  per-status counts, top culprits and latency percentiles.
+
+Concurrency: the store opens in WAL mode so a crashed writer replays
+cleanly on the next open (kill -9 mid-write loses at most the
+uncommitted transaction) and replica *processes* sharing one file
+coexist — WAL allows concurrent readers alongside a single writer,
+with ``busy_timeout`` absorbing write collisions.  In-process, one
+connection is shared behind an :class:`threading.RLock`; every public
+method is safe to call from the server's executor threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import secrets
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.learning import rule_identity
+
+__all__ = ["DiagnosisStore", "StoreError", "TenantRecord", "PUBLIC_TENANT"]
+
+#: The namespace unauthenticated traffic lands in.  Serving without a
+#: store (or without an API key) behaves exactly as before; the public
+#: tenant just gives that traffic a durable home too.
+PUBLIC_TENANT = "public"
+
+_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cache_entries (
+    namespace TEXT NOT NULL,
+    key       TEXT NOT NULL,
+    blob      TEXT NOT NULL,
+    digest    TEXT NOT NULL,
+    seq       INTEGER NOT NULL,
+    PRIMARY KEY (namespace, key)
+);
+CREATE INDEX IF NOT EXISTS cache_entries_seq ON cache_entries (seq);
+CREATE TABLE IF NOT EXISTS experience_meta (
+    tenant         TEXT PRIMARY KEY,
+    version        INTEGER NOT NULL,
+    episode_count  INTEGER NOT NULL,
+    base_certainty REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS experience_rules (
+    tenant      TEXT NOT NULL,
+    rule_key    TEXT NOT NULL,
+    signature   TEXT NOT NULL,
+    component   TEXT NOT NULL,
+    mode        TEXT NOT NULL,
+    certainty   REAL NOT NULL,
+    occurrences INTEGER NOT NULL,
+    version     INTEGER NOT NULL,
+    PRIMARY KEY (tenant, rule_key)
+);
+CREATE TABLE IF NOT EXISTS tenants (
+    tenant_id      TEXT PRIMARY KEY,
+    name           TEXT NOT NULL,
+    key_digest     TEXT NOT NULL UNIQUE,
+    quota_limit    INTEGER NOT NULL,
+    quota_interval REAL NOT NULL,
+    created_at     REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS history (
+    id           INTEGER PRIMARY KEY AUTOINCREMENT,
+    tenant       TEXT NOT NULL,
+    unit         TEXT NOT NULL,
+    content_hash TEXT NOT NULL,
+    status       TEXT NOT NULL,
+    consistent   INTEGER NOT NULL,
+    top_culprit  TEXT NOT NULL,
+    elapsed      REAL NOT NULL,
+    cache_hit    INTEGER NOT NULL,
+    created_at   REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS history_tenant ON history (tenant);
+"""
+
+
+class StoreError(RuntimeError):
+    """The store file is unusable (bad schema, undecodable rows, ...)."""
+
+
+class TenantRecord:
+    """One provisioned tenant, as read back from the store (no key)."""
+
+    def __init__(
+        self,
+        tenant_id: str,
+        name: str,
+        quota_limit: int,
+        quota_interval: float,
+        created_at: float,
+    ) -> None:
+        self.tenant_id = tenant_id
+        self.name = name
+        self.quota_limit = int(quota_limit)
+        self.quota_interval = float(quota_interval)
+        self.created_at = float(created_at)
+
+    def to_dict(self) -> Dict:
+        return {
+            "tenant_id": self.tenant_id,
+            "name": self.name,
+            "quota_limit": self.quota_limit,
+            "quota_interval": self.quota_interval,
+            "created_at": self.created_at,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TenantRecord({self.tenant_id!r}, quota={self.quota_limit}/{self.quota_interval:g}s)"
+
+
+def _hash_key(api_key: str) -> str:
+    return hashlib.sha256(api_key.encode()).hexdigest()
+
+
+class DiagnosisStore:
+    """The sqlite-backed persistence plane shared by cache/experience/tenants."""
+
+    def __init__(self, path: Union[str, Path], busy_timeout: float = 5.0) -> None:
+        self.path = str(path)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(
+            self.path, check_same_thread=False, timeout=busy_timeout
+        )
+        self._conn.isolation_level = None  # explicit transactions only
+        with self._lock:
+            cur = self._conn.cursor()
+            cur.execute("PRAGMA journal_mode=WAL")
+            cur.execute("PRAGMA synchronous=NORMAL")
+            cur.execute(f"PRAGMA busy_timeout={int(busy_timeout * 1000)}")
+            # executescript manages its own transaction (and commits any
+            # pending one), so the schema is not wrapped in BEGIN here.
+            cur.executescript(_SCHEMA)
+            cur.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES ('schema_version', ?)",
+                (str(_SCHEMA_VERSION),),
+            )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "DiagnosisStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _next_seq(self, cur: sqlite3.Cursor) -> int:
+        row = cur.execute("SELECT COALESCE(MAX(seq), 0) FROM cache_entries").fetchone()
+        return int(row[0]) + 1
+
+    # ------------------------------------------------------------------
+    # Cache rows (the disk tier)
+    # ------------------------------------------------------------------
+    def cache_get(self, namespace: str, key: str) -> Tuple[str, Optional[str]]:
+        """Look one sealed row up: ``(status, blob)``.
+
+        ``status`` is ``"hit"`` (the blob's digest verified), ``"miss"``
+        (no such row) or ``"corrupt"`` (the stored digest no longer
+        matches — the row has been purged; the caller counts it).  A hit
+        refreshes the row's LRU sequence.
+        """
+        with self._lock:
+            cur = self._conn.cursor()
+            try:
+                row = cur.execute(
+                    "SELECT blob, digest FROM cache_entries WHERE namespace = ? AND key = ?",
+                    (namespace, key),
+                ).fetchone()
+            except sqlite3.DatabaseError:
+                return "corrupt", None
+            if row is None:
+                return "miss", None
+            blob, digest = row
+            if hashlib.sha256(blob.encode()).hexdigest() != digest:
+                cur.execute("BEGIN IMMEDIATE")
+                cur.execute(
+                    "DELETE FROM cache_entries WHERE namespace = ? AND key = ?",
+                    (namespace, key),
+                )
+                cur.execute("COMMIT")
+                return "corrupt", None
+            cur.execute("BEGIN IMMEDIATE")
+            cur.execute(
+                "UPDATE cache_entries SET seq = ? WHERE namespace = ? AND key = ?",
+                (self._next_seq(cur), namespace, key),
+            )
+            cur.execute("COMMIT")
+            return "hit", blob
+
+    def cache_put(
+        self, namespace: str, key: str, blob: str, digest: str, max_rows: int = 0
+    ) -> int:
+        """Write one sealed row through; returns rows evicted for space.
+
+        ``max_rows`` bounds the *whole table* (all namespaces — the disk
+        budget is per store file, not per tenant); 0 means unbounded.
+        Eviction is LRU by the access sequence ``cache_get`` refreshes.
+        """
+        with self._lock:
+            cur = self._conn.cursor()
+            cur.execute("BEGIN IMMEDIATE")
+            try:
+                cur.execute(
+                    "INSERT OR REPLACE INTO cache_entries "
+                    "(namespace, key, blob, digest, seq) VALUES (?, ?, ?, ?, ?)",
+                    (namespace, key, blob, digest, self._next_seq(cur)),
+                )
+                evicted = 0
+                if max_rows > 0:
+                    count = int(
+                        cur.execute("SELECT COUNT(*) FROM cache_entries").fetchone()[0]
+                    )
+                    overflow = count - max_rows
+                    if overflow > 0:
+                        cur.execute(
+                            "DELETE FROM cache_entries WHERE rowid IN ("
+                            "SELECT rowid FROM cache_entries ORDER BY seq ASC LIMIT ?)",
+                            (overflow,),
+                        )
+                        evicted = overflow
+                cur.execute("COMMIT")
+            except sqlite3.DatabaseError:
+                cur.execute("ROLLBACK")
+                raise
+            return evicted
+
+    def cache_rows(self, namespace: Optional[str] = None) -> int:
+        with self._lock:
+            if namespace is None:
+                row = self._conn.execute("SELECT COUNT(*) FROM cache_entries").fetchone()
+            else:
+                row = self._conn.execute(
+                    "SELECT COUNT(*) FROM cache_entries WHERE namespace = ?", (namespace,)
+                ).fetchone()
+            return int(row[0])
+
+    def cache_tamper(self, namespace: str, key: str) -> bool:
+        """Corrupt a stored blob in place (test/chaos hook).
+
+        The next ``cache_get`` for the key sees the broken seal, purges
+        the row and reports ``"corrupt"``.  True when the row existed.
+        """
+        with self._lock:
+            cur = self._conn.cursor()
+            row = cur.execute(
+                "SELECT blob FROM cache_entries WHERE namespace = ? AND key = ?",
+                (namespace, key),
+            ).fetchone()
+            if row is None:
+                return False
+            blob = row[0]
+            tampered = blob[:-1] + ("x" if blob[-1:] != "x" else "y")
+            cur.execute("BEGIN IMMEDIATE")
+            cur.execute(
+                "UPDATE cache_entries SET blob = ? WHERE namespace = ? AND key = ?",
+                (tampered, namespace, key),
+            )
+            cur.execute("COMMIT")
+            return True
+
+    # ------------------------------------------------------------------
+    # Experience (versioned, per tenant)
+    # ------------------------------------------------------------------
+    def experience_version(self, tenant: str) -> int:
+        """The tenant's experience version (0 = nothing persisted yet)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT version FROM experience_meta WHERE tenant = ?", (tenant,)
+            ).fetchone()
+            return int(row[0]) if row else 0
+
+    def load_experience(self, tenant: str) -> Tuple[Dict, int]:
+        """The tenant's persisted base as an ``ExperienceBase.to_dict``
+        payload, plus its version.  An unseen tenant loads empty at
+        version 0."""
+        with self._lock:
+            meta = self._conn.execute(
+                "SELECT version, episode_count, base_certainty "
+                "FROM experience_meta WHERE tenant = ?",
+                (tenant,),
+            ).fetchone()
+            if meta is None:
+                return {"base_certainty": 0.6, "episode_count": 0, "rules": []}, 0
+            version, episodes, base_certainty = meta
+            rules = []
+            for signature, component, mode, certainty, occurrences in self._conn.execute(
+                "SELECT signature, component, mode, certainty, occurrences "
+                "FROM experience_rules WHERE tenant = ? ORDER BY rule_key",
+                (tenant,),
+            ):
+                try:
+                    entries = json.loads(signature)
+                except json.JSONDecodeError as exc:
+                    raise StoreError(
+                        f"undecodable experience signature for {tenant!r}: {exc}"
+                    ) from None
+                rules.append(
+                    {
+                        "signature": entries,
+                        "component": component,
+                        "mode": mode,
+                        "certainty": float(certainty),
+                        "occurrences": int(occurrences),
+                    }
+                )
+            return {
+                "base_certainty": float(base_certainty),
+                "episode_count": int(episodes),
+                "rules": rules,
+            }, int(version)
+
+    def merge_experience(self, tenant: str, delta: Dict) -> int:
+        """Fold an experience delta in with noisy-or semantics; returns
+        the tenant's new version.
+
+        ``delta`` is an :meth:`ExperienceBase.to_dict` payload (often a
+        single batch's worth of confirmations).  Matching rules combine
+        certainty ``1 - (1-c1)(1-c2)`` and sum occurrences — byte-for-
+        byte the semantics of :meth:`ExperienceBase.merge` — inside one
+        transaction, so a crash mid-merge leaves the previous version
+        intact.  An empty delta is a no-op (the version does not bump).
+        """
+        rules = delta.get("rules") or []
+        episodes = int(delta.get("episode_count", 0))
+        if not rules and not episodes:
+            return self.experience_version(tenant)
+        base_certainty = float(delta.get("base_certainty", 0.6))
+        with self._lock:
+            cur = self._conn.cursor()
+            cur.execute("BEGIN IMMEDIATE")
+            try:
+                meta = cur.execute(
+                    "SELECT version, episode_count FROM experience_meta WHERE tenant = ?",
+                    (tenant,),
+                ).fetchone()
+                version = (int(meta[0]) if meta else 0) + 1
+                episode_count = (int(meta[1]) if meta else 0) + episodes
+                for entry in rules:
+                    signature = entry.get("signature") or []
+                    component = str(entry.get("component", ""))
+                    mode = str(entry.get("mode", ""))
+                    certainty = float(entry.get("certainty", base_certainty))
+                    occurrences = int(entry.get("occurrences", 1))
+                    key = rule_identity(signature, component, mode)
+                    row = cur.execute(
+                        "SELECT certainty, occurrences FROM experience_rules "
+                        "WHERE tenant = ? AND rule_key = ?",
+                        (tenant, key),
+                    ).fetchone()
+                    if row is not None:
+                        merged_certainty = 1.0 - (1.0 - float(row[0])) * (1.0 - certainty)
+                        cur.execute(
+                            "UPDATE experience_rules SET certainty = ?, occurrences = ?, "
+                            "version = ? WHERE tenant = ? AND rule_key = ?",
+                            (merged_certainty, int(row[1]) + occurrences, version, tenant, key),
+                        )
+                    else:
+                        cur.execute(
+                            "INSERT INTO experience_rules (tenant, rule_key, signature, "
+                            "component, mode, certainty, occurrences, version) "
+                            "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                            (
+                                tenant,
+                                key,
+                                json.dumps(
+                                    [[str(p), str(b), int(d)] for p, b, d in signature],
+                                    separators=(",", ":"),
+                                ),
+                                component,
+                                mode,
+                                certainty,
+                                occurrences,
+                                version,
+                            ),
+                        )
+                cur.execute(
+                    "INSERT INTO experience_meta (tenant, version, episode_count, "
+                    "base_certainty) VALUES (?, ?, ?, ?) "
+                    "ON CONFLICT(tenant) DO UPDATE SET version = ?, episode_count = ?",
+                    (tenant, version, episode_count, base_certainty, version, episode_count),
+                )
+                cur.execute("COMMIT")
+            except sqlite3.DatabaseError:
+                cur.execute("ROLLBACK")
+                raise
+            return version
+
+    # ------------------------------------------------------------------
+    # Tenants
+    # ------------------------------------------------------------------
+    def provision_tenant(
+        self,
+        tenant_id: str,
+        name: str = "",
+        quota_limit: int = 0,
+        quota_interval: float = 60.0,
+        api_key: Optional[str] = None,
+    ) -> str:
+        """Create a tenant and return its API key (shown exactly once).
+
+        Only the key's sha256 digest is stored; losing the key means
+        re-provisioning.  ``quota_limit`` 0 means unlimited.
+        """
+        if not tenant_id:
+            raise ValueError("tenant_id must be non-empty")
+        if ":" in tenant_id or "/" in tenant_id or any(c.isspace() for c in tenant_id):
+            # ':' would collide with cache-key namespacing, '/' with the
+            # report URL path; whitespace just invites header mangling.
+            raise ValueError("tenant_id must not contain ':', '/' or whitespace")
+        if quota_limit < 0:
+            raise ValueError("quota_limit must be non-negative")
+        if quota_interval <= 0:
+            raise ValueError("quota_interval must be positive")
+        key = api_key if api_key is not None else f"rk_{secrets.token_hex(16)}"
+        with self._lock:
+            cur = self._conn.cursor()
+            cur.execute("BEGIN IMMEDIATE")
+            try:
+                cur.execute(
+                    "INSERT INTO tenants (tenant_id, name, key_digest, quota_limit, "
+                    "quota_interval, created_at) VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        tenant_id,
+                        name or tenant_id,
+                        _hash_key(key),
+                        int(quota_limit),
+                        float(quota_interval),
+                        time.time(),
+                    ),
+                )
+                cur.execute("COMMIT")
+            except sqlite3.IntegrityError:
+                cur.execute("ROLLBACK")
+                raise ValueError(f"tenant {tenant_id!r} already exists") from None
+            except sqlite3.DatabaseError:
+                cur.execute("ROLLBACK")
+                raise
+        return key
+
+    def resolve_api_key(self, api_key: str) -> Optional[TenantRecord]:
+        """The tenant owning ``api_key``, or None (never raises on junk)."""
+        if not api_key:
+            return None
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT tenant_id, name, quota_limit, quota_interval, created_at "
+                "FROM tenants WHERE key_digest = ?",
+                (_hash_key(api_key),),
+            ).fetchone()
+        return TenantRecord(*row) if row else None
+
+    def get_tenant(self, tenant_id: str) -> Optional[TenantRecord]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT tenant_id, name, quota_limit, quota_interval, created_at "
+                "FROM tenants WHERE tenant_id = ?",
+                (tenant_id,),
+            ).fetchone()
+        return TenantRecord(*row) if row else None
+
+    def list_tenants(self) -> List[TenantRecord]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT tenant_id, name, quota_limit, quota_interval, created_at "
+                "FROM tenants ORDER BY tenant_id"
+            ).fetchall()
+        return [TenantRecord(*row) for row in rows]
+
+    # ------------------------------------------------------------------
+    # History (the fleet-health report's raw material)
+    # ------------------------------------------------------------------
+    def record_history(
+        self,
+        tenant: str,
+        unit: str,
+        content_hash: str,
+        status: str,
+        consistent: bool,
+        top_culprit: str,
+        elapsed: float,
+        cache_hit: bool,
+    ) -> None:
+        with self._lock:
+            cur = self._conn.cursor()
+            cur.execute("BEGIN IMMEDIATE")
+            try:
+                cur.execute(
+                    "INSERT INTO history (tenant, unit, content_hash, status, consistent, "
+                    "top_culprit, elapsed, cache_hit, created_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        tenant,
+                        unit,
+                        content_hash,
+                        status,
+                        1 if consistent else 0,
+                        top_culprit,
+                        float(elapsed),
+                        1 if cache_hit else 0,
+                        time.time(),
+                    ),
+                )
+                cur.execute("COMMIT")
+            except sqlite3.DatabaseError:
+                cur.execute("ROLLBACK")
+                raise
+
+    def history_rows(self, tenant: str, limit: int = 0) -> List[Dict]:
+        """The tenant's diagnosis history, oldest first."""
+        sql = (
+            "SELECT unit, content_hash, status, consistent, top_culprit, elapsed, "
+            "cache_hit, created_at FROM history WHERE tenant = ? ORDER BY id"
+        )
+        args: Tuple = (tenant,)
+        if limit > 0:
+            sql += " DESC LIMIT ?"
+            args = (tenant, limit)
+        with self._lock:
+            rows = self._conn.execute(sql, args).fetchall()
+        if limit > 0:
+            rows = list(reversed(rows))
+        return [
+            {
+                "unit": unit,
+                "content_hash": content_hash,
+                "status": status,
+                "consistent": bool(consistent),
+                "top_culprit": top_culprit,
+                "elapsed": float(elapsed),
+                "cache_hit": bool(cache_hit),
+                "created_at": float(created_at),
+            }
+            for (unit, content_hash, status, consistent,
+                 top_culprit, elapsed, cache_hit, created_at) in rows
+        ]
+
+    def history_count(self, tenant: str) -> int:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) FROM history WHERE tenant = ?", (tenant,)
+            ).fetchone()
+            return int(row[0])
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """Occupancy overview (the server folds this into ``/metrics``)."""
+        with self._lock:
+            cache_rows = int(
+                self._conn.execute("SELECT COUNT(*) FROM cache_entries").fetchone()[0]
+            )
+            rule_rows = int(
+                self._conn.execute("SELECT COUNT(*) FROM experience_rules").fetchone()[0]
+            )
+            tenants = int(self._conn.execute("SELECT COUNT(*) FROM tenants").fetchone()[0])
+            history = int(self._conn.execute("SELECT COUNT(*) FROM history").fetchone()[0])
+        return {
+            "path": self.path,
+            "cache_rows": cache_rows,
+            "experience_rules": rule_rows,
+            "tenants": tenants,
+            "history_rows": history,
+        }

@@ -1,0 +1,119 @@
+"""Tenant resolution and request quotas at the serving boundary.
+
+The store owns tenant *identity* (API-key digests, quota parameters);
+this module owns the hot-path mechanics the server needs per request:
+
+* :class:`TenantRegistry` — resolves ``Authorization: Bearer`` /
+  ``X-Api-Key`` credentials to a :class:`~repro.store.db.TenantRecord`
+  through a small TTL cache, so steady-state auth costs a dict lookup,
+  not a sqlite query, while re-provisioning still takes effect within
+  the TTL;
+* :class:`QuotaTracker` — fixed-window request counting per tenant.
+  A tenant provisioned with ``quota_limit N`` per ``quota_interval``
+  seconds gets N admissions per window; the N+1-th is rejected with
+  the seconds remaining in the window, which the server surfaces as
+  ``429`` + ``Retry-After``.  Limit 0 means unlimited, and anonymous
+  (public) traffic is never quota-limited — quotas are a property of
+  *provisioned* tenants.
+
+Both are process-local by design: quotas bound each replica's intake
+(a cluster of R replicas admits at most R×N per window — the usual
+per-instance semantics of fixed-window limiting), and the auth cache
+is just a read-through memo over the shared store.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.store.db import DiagnosisStore, TenantRecord
+
+__all__ = ["TenantRegistry", "QuotaTracker", "QuotaDecision"]
+
+
+class QuotaDecision:
+    """One admission verdict: allowed, or retry after ``retry_after``."""
+
+    __slots__ = ("allowed", "retry_after", "remaining")
+
+    def __init__(self, allowed: bool, retry_after: float = 0.0, remaining: int = 0) -> None:
+        self.allowed = allowed
+        self.retry_after = retry_after
+        self.remaining = remaining
+
+    def __bool__(self) -> bool:
+        return self.allowed
+
+
+class QuotaTracker:
+    """Fixed-window per-tenant request counting (process-local)."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic) -> None:
+        self._clock = clock
+        self._lock = threading.Lock()
+        # tenant -> [window_start, count]
+        self._windows: Dict[str, list] = {}
+        self.rejections = 0
+
+    def check(self, tenant: TenantRecord) -> QuotaDecision:
+        """Admit or reject one request for ``tenant`` (counts it if admitted)."""
+        if tenant.quota_limit <= 0:
+            return QuotaDecision(True, remaining=-1)
+        now = self._clock()
+        with self._lock:
+            window = self._windows.get(tenant.tenant_id)
+            if window is None or now - window[0] >= tenant.quota_interval:
+                window = [now, 0]
+                self._windows[tenant.tenant_id] = window
+            if window[1] >= tenant.quota_limit:
+                self.rejections += 1
+                remaining_s = max(0.0, tenant.quota_interval - (now - window[0]))
+                return QuotaDecision(False, retry_after=remaining_s)
+            window[1] += 1
+            return QuotaDecision(True, remaining=tenant.quota_limit - window[1])
+
+    def snapshot(self) -> Dict:
+        with self._lock:
+            return {
+                "tenants_tracked": len(self._windows),
+                "rejections": self.rejections,
+            }
+
+
+class TenantRegistry:
+    """Read-through, TTL-cached API-key → tenant resolution."""
+
+    def __init__(
+        self,
+        store: DiagnosisStore,
+        ttl: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.store = store
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        # api_key -> (expires_at, record-or-None); unknown keys are
+        # cached too so a flood of junk keys doesn't hammer sqlite.
+        self._cache: Dict[str, Tuple[float, Optional[TenantRecord]]] = {}
+
+    def resolve(self, api_key: str) -> Optional[TenantRecord]:
+        if not api_key:
+            return None
+        now = self._clock()
+        with self._lock:
+            hit = self._cache.get(api_key)
+            if hit is not None and hit[0] > now:
+                return hit[1]
+        record = self.store.resolve_api_key(api_key)
+        with self._lock:
+            if len(self._cache) >= 1024:  # junk-key flood bound
+                self._cache.clear()
+            self._cache[api_key] = (now + self.ttl, record)
+        return record
+
+    def invalidate(self) -> None:
+        with self._lock:
+            self._cache.clear()

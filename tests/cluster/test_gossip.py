@@ -120,3 +120,83 @@ class TestExport:
         assert len(base) == 2
         components = {rule.component for rule in base.rules}
         assert components == {"R1", "R2"}
+
+
+def _annotate_seed(snapshot, occurrences=None, episodes=None):
+    """A restored replica's export: restored rules carry seed_occurrences."""
+    annotated = json.loads(json.dumps(snapshot))
+    for entry in annotated["rules"]:
+        entry["seed_occurrences"] = (
+            occurrences if occurrences is not None else entry["occurrences"]
+        )
+    if episodes is not None:
+        annotated["seed_episode_count"] = episodes
+    return annotated
+
+
+class TestStoreSeeding:
+    def test_seed_primes_the_ledger(self):
+        gossip = ExperienceGossip()
+        persisted = snapshot_with((SIG_A, "R1"), (SIG_A, "R1"), (SIG_B, "R2"))
+        added = gossip.seed(persisted)
+        assert added == 3
+        assert gossip.rule_count() == 2
+        assert gossip.snapshot()["episodes"] == 3
+        # Seeding attributes nothing to any replica: a fresh replica
+        # owes the whole ledger.
+        delta = gossip.pending("r0")
+        assert delta is not None
+        assert sum(r["occurrences"] for r in delta["rules"]) == 3
+
+    def test_seed_is_idempotent(self):
+        gossip = ExperienceGossip()
+        persisted = snapshot_with((SIG_A, "R1"))
+        assert gossip.seed(persisted) == 1
+        assert gossip.seed(persisted) == 0
+        assert gossip.export()["rules"][0]["occurrences"] == 1
+
+    def test_restored_replica_report_is_not_fresh_evidence(self):
+        # The round trip persistence enables: gateway seeds from the
+        # store, a replica restores the same rules from the same store
+        # and re-reports them annotated — the ledger must not inflate.
+        gossip = ExperienceGossip()
+        persisted = snapshot_with((SIG_A, "R1"), (SIG_A, "R1"))
+        gossip.seed(persisted)
+        report = _annotate_seed(persisted, episodes=2)
+        assert gossip.observe("r0", 1, report) == 0
+        assert gossip.export()["rules"][0]["occurrences"] == 2
+        assert gossip.snapshot()["episodes"] == 2
+        assert gossip.pending("r0") is None
+
+    def test_new_evidence_on_top_of_seed_counts(self):
+        gossip = ExperienceGossip()
+        persisted = snapshot_with((SIG_A, "R1"))
+        gossip.seed(persisted)
+        # The replica restored one occurrence, then learned two more.
+        grown = snapshot_with((SIG_A, "R1"), (SIG_A, "R1"), (SIG_A, "R1"))
+        report = _annotate_seed(grown, occurrences=1, episodes=1)
+        assert gossip.observe("r0", 1, report) == 2
+        assert gossip.export()["rules"][0]["occurrences"] == 3
+        assert gossip.snapshot()["episodes"] == 3
+
+    def test_unannotated_replica_still_counts_fresh(self):
+        # A replica without a store reports no seed markers: its rules
+        # are fresh evidence exactly as before the persistence plane.
+        gossip = ExperienceGossip()
+        gossip.seed(snapshot_with((SIG_A, "R1")))
+        fresh = gossip.observe("r0", 1, snapshot_with((SIG_B, "R2")))
+        assert fresh == 1
+        assert gossip.rule_count() == 2
+
+    def test_restart_epoch_reapplies_seed_baseline(self):
+        # After a replica restart (epoch bump) the expectation table
+        # clears; the re-reported restored rules re-seed the baseline
+        # instead of double-counting.
+        gossip = ExperienceGossip()
+        persisted = snapshot_with((SIG_A, "R1"), (SIG_A, "R1"))
+        gossip.seed(persisted)
+        report = _annotate_seed(persisted, episodes=2)
+        gossip.observe("r0", 1, report)
+        gossip.observe("r0", 2, report)  # restarted, restored again
+        assert gossip.export()["rules"][0]["occurrences"] == 2
+        assert gossip.snapshot()["episodes"] == 2

@@ -1,0 +1,134 @@
+"""Crash-recovery tests: SIGKILL mid-write must never cost committed
+state.  The store runs WAL journaling with explicit transactions, so a
+hard kill loses at most the uncommitted tail — the reopened database
+replays the WAL and serves everything that was committed."""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+from repro.store import DiagnosisStore
+
+_SRC_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))), "src"
+)
+
+#: The victim: commits real writes through the store, then parks inside
+#: an *uncommitted* transaction and waits to be killed.
+_WRITER = textwrap.dedent(
+    """
+    import sqlite3, sys
+    from repro.store import DiagnosisStore
+    from tests.store.test_db import _seal
+
+    path = sys.argv[1]
+    store = DiagnosisStore(path)
+    for i in range(20):
+        blob, digest = _seal({"i": i})
+        store.cache_put("public", f"k{i}", blob, digest)
+    store.merge_experience("public", {
+        "base_certainty": 0.6, "episode_count": 1,
+        "rules": [{"signature": [["V(out)", "conflict", -1]],
+                   "component": "R1", "mode": "open",
+                   "certainty": 0.6, "occurrences": 1}],
+    })
+    # Now crash mid-write: open a transaction, insert, never commit.
+    conn = sqlite3.connect(path)
+    conn.isolation_level = None
+    conn.execute("BEGIN IMMEDIATE")
+    conn.execute(
+        "INSERT OR REPLACE INTO cache_entries (namespace, key, blob, digest, seq)"
+        " VALUES ('public', 'uncommitted', 'garbage', 'bad-digest', 999)"
+    )
+    print("INFLIGHT", flush=True)
+    import time
+    time.sleep(60)  # the parent SIGKILLs us here
+    """
+)
+
+
+def _spawn_writer(path):
+    env = dict(os.environ)
+    root = os.path.dirname(_SRC_DIR)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (_SRC_DIR, root, env.get("PYTHONPATH", "")) if p
+    )
+    process = subprocess.Popen(
+        [sys.executable, "-c", _WRITER, str(path)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.time() + 30
+    lines = []
+    while time.time() < deadline:
+        if process.poll() is not None:
+            raise AssertionError(
+                f"writer died early ({process.returncode}): {lines + [process.stdout.read()]}"
+            )
+        line = process.stdout.readline()
+        lines.append(line)
+        if "INFLIGHT" in line:
+            return process
+    raise AssertionError(f"writer never reached INFLIGHT: {lines}")
+
+
+class TestSigkillRecovery:
+    def test_committed_writes_survive_a_hard_kill(self, tmp_path):
+        path = tmp_path / "store.db"
+        process = _spawn_writer(path)
+        try:
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=10)
+        finally:
+            if process.poll() is None:
+                process.kill()
+
+        # Reopen: WAL replay must hand back every committed row, drop
+        # the in-flight one, and raise nothing.
+        with DiagnosisStore(path) as store:
+            assert store.cache_rows("public") == 20
+            for i in range(20):
+                status, _blob = store.cache_get("public", f"k{i}")
+                assert status == "hit", f"k{i} lost or corrupt after kill"
+            assert store.cache_get("public", "uncommitted") == ("miss", None)
+            data, version = store.load_experience("public")
+            assert version == 1
+            assert len(data["rules"]) == 1
+
+    def test_reopen_is_writable_after_kill(self, tmp_path):
+        path = tmp_path / "store.db"
+        process = _spawn_writer(path)
+        try:
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=10)
+        finally:
+            if process.poll() is None:
+                process.kill()
+        with DiagnosisStore(path) as store:
+            from tests.store.test_db import _seal
+
+            blob, digest = _seal({"fresh": True})
+            store.cache_put("public", "fresh", blob, digest)
+            assert store.cache_get("public", "fresh")[0] == "hit"
+            version = store.merge_experience(
+                "public",
+                {
+                    "base_certainty": 0.6,
+                    "episode_count": 1,
+                    "rules": [
+                        {
+                            "signature": [["V(out)", "ok", 1]],
+                            "component": "R2",
+                            "mode": "short",
+                            "certainty": 0.6,
+                            "occurrences": 1,
+                        }
+                    ],
+                },
+            )
+            assert version == 2

@@ -1,0 +1,160 @@
+"""Tests for quota tracking, the API-key registry cache and the
+tenant fleet-health report."""
+
+import pytest
+
+from repro.store import (
+    DiagnosisStore,
+    QuotaTracker,
+    TenantRecord,
+    TenantRegistry,
+    build_report,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    with DiagnosisStore(tmp_path / "store.db") as db:
+        yield db
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+
+def _tenant(tenant_id="acme", limit=3, interval=60.0):
+    return TenantRecord(tenant_id, tenant_id, limit, interval, created_at=0.0)
+
+
+class TestQuotaTracker:
+    def test_fixed_window_rejects_over_limit(self):
+        clock = _Clock()
+        quotas = QuotaTracker(clock=clock)
+        acme = _tenant(limit=3)
+        for _ in range(3):
+            assert quotas.check(acme)
+        decision = quotas.check(acme)
+        assert not decision
+        assert 0 < decision.retry_after <= 60.0
+
+    def test_window_rolls_over(self):
+        clock = _Clock()
+        quotas = QuotaTracker(clock=clock)
+        acme = _tenant(limit=1)
+        assert quotas.check(acme)
+        assert not quotas.check(acme)
+        clock.now += 61.0
+        assert quotas.check(acme)
+
+    def test_zero_limit_is_unlimited(self):
+        quotas = QuotaTracker()
+        acme = _tenant(limit=0)
+        for _ in range(100):
+            decision = quotas.check(acme)
+            assert decision
+            assert decision.remaining == -1
+
+    def test_tenants_tracked_independently(self):
+        clock = _Clock()
+        quotas = QuotaTracker(clock=clock)
+        assert quotas.check(_tenant("acme", limit=1))
+        assert not quotas.check(_tenant("acme", limit=1))
+        assert quotas.check(_tenant("globex", limit=1))
+
+    def test_snapshot_counts_rejections(self):
+        quotas = QuotaTracker(clock=_Clock())
+        acme = _tenant(limit=1)
+        quotas.check(acme)
+        quotas.check(acme)
+        snap = quotas.snapshot()
+        assert snap["rejections"] == 1
+
+
+class TestTenantRegistry:
+    def test_resolves_and_caches(self, store):
+        key = store.provision_tenant("acme")
+        clock = _Clock()
+        registry = TenantRegistry(store, ttl=5.0, clock=clock)
+        assert registry.resolve(key).tenant_id == "acme"
+        assert registry.resolve("rk_junk") is None
+        # Within the TTL a re-resolve never hits sqlite again: closing
+        # the store under the registry proves the answer came from cache.
+        store.close()
+        assert registry.resolve(key).tenant_id == "acme"
+        assert registry.resolve("rk_junk") is None
+
+    def test_ttl_expiry_rereads(self, store):
+        key = store.provision_tenant("acme")
+        clock = _Clock()
+        registry = TenantRegistry(store, ttl=5.0, clock=clock)
+        assert registry.resolve(key) is not None
+        clock.now += 6.0
+        assert registry.resolve(key) is not None  # re-read, still there
+
+    def test_invalidate_clears(self, store):
+        key = store.provision_tenant("acme")
+        registry = TenantRegistry(store, ttl=600.0)
+        assert registry.resolve(key) is not None
+        registry.invalidate()
+        store.close()
+        with pytest.raises(Exception):
+            registry.resolve(key)
+
+
+class TestBuildReport:
+    def test_unknown_tenant_is_none(self, store):
+        assert build_report(store, "nobody") is None
+
+    def test_report_reflects_history(self, store):
+        store.provision_tenant("acme", quota_limit=10, quota_interval=30.0)
+        store.record_history("acme", "u1", "h1", "ok", False, "R1", 0.2, False)
+        store.record_history("acme", "u2", "h2", "ok", False, "R1", 0.3, False)
+        store.record_history("acme", "u3", "h3", "ok", True, "", 0.1, False)
+        store.record_history("acme", "u4", "h4", "error", False, "", 0.0, False)
+        store.record_history("acme", "u1", "h1", "ok", False, "R1", 0.0, True)
+        report = build_report(store, "acme")
+        assert report["tenant"] == "acme"
+        assert report["quota"] == {"limit": 10, "interval": 30.0}
+        history = report["history"]
+        assert history["total"] == 5
+        assert history["faulty"] == 3
+        assert history["consistent"] == 1
+        assert history["error_rate"] == pytest.approx(0.2)
+        assert history["cache_hit_rate"] == pytest.approx(0.2)
+        assert report["top_culprits"][0] == {"component": "R1", "count": 3}
+        assert report["latency_ms"]["executed"] == 4
+        assert report["latency_ms"]["p50"] > 0
+
+    def test_limit_narrows_the_window(self, store):
+        store.provision_tenant("acme")
+        for i in range(4):
+            store.record_history("acme", f"u{i}", f"h{i}", "ok", True, "", 0.0, False)
+        store.record_history("acme", "u-err", "h", "error", False, "", 0.0, False)
+        report = build_report(store, "acme", limit=1)
+        assert report["history"]["window"] == 1
+        assert report["history"]["error_rate"] == 1.0
+
+    def test_report_includes_experience_version(self, store):
+        store.provision_tenant("acme")
+        store.merge_experience(
+            "acme",
+            {
+                "base_certainty": 0.6,
+                "episode_count": 1,
+                "rules": [
+                    {
+                        "signature": [["V(out)", "conflict", -1]],
+                        "component": "R1",
+                        "mode": "open",
+                        "certainty": 0.6,
+                        "occurrences": 1,
+                    }
+                ],
+            },
+        )
+        report = build_report(store, "acme")
+        assert report["experience"] == {"version": 1, "rules": 1, "episodes": 1}
