@@ -19,10 +19,13 @@ Commands:
   same API across ``--replicas N`` server subprocesses, with failover,
   replica supervision and experience gossip (see README "Cluster
   mode").
-* ``tenants create|list|report`` — administer the durable store's
-  tenants: provision an API key, enumerate tenants, or render a
-  tenant's fleet-health report from its diagnosis history (see README
-  "Persistence & tenants").
+* ``tenants create|rotate|revoke|list|report`` — administer the durable
+  store's tenants: provision an API key, rotate or revoke keys,
+  enumerate tenants, or render a tenant's fleet-health report from its
+  diagnosis history (see README "Persistence & tenants").
+* ``store backup|scrub|status`` — operate on a durable store file:
+  online backup under live writers, seal/integrity scrub with corrupt-
+  row purge, or a status snapshot (see README "Store lifecycle").
 * ``watch`` — streaming mode: simulate a unit live (optionally breaking
   it mid-stream), feed the telemetry through the drift detector and
   render each incremental re-diagnosis as it happens (see README
@@ -191,10 +194,15 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         print(f"bad manifest: {exc}", file=sys.stderr)
         return 2
     store = None
+    maintenance = None
     if args.store:
-        from repro.store import DiagnosisStore
+        from repro.store import DiagnosisStore, StoreMaintenance
 
         store = DiagnosisStore(args.store)
+        # Batch mode runs upkeep opportunistically: the engine calls
+        # maybe_tick() between batches, and the final tick below leaves
+        # the WAL checkpointed and retention applied on exit.
+        maintenance = StoreMaintenance(store)
     try:
         fault_plan = FaultPlan.from_json(args.faults) if args.faults else None
         engine = FleetEngine(
@@ -208,6 +216,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             fault_plan=fault_plan,
             verify_kernel=args.verify_kernel,
             store=store,
+            maintenance=maintenance,
         )
     except ValueError as exc:
         if store is not None:
@@ -219,6 +228,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         for _ in range(max(args.repeat - 1, 0)):
             report = engine.run_batch(jobs)
     finally:
+        if maintenance is not None:
+            maintenance.tick()
         if store is not None:
             store.close()
 
@@ -281,6 +292,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         forwarded.append("--verify-kernel")
     if args.store:
         forwarded.extend(["--store", args.store])
+        forwarded.extend(["--checkpoint-interval", str(args.checkpoint_interval)])
+        forwarded.extend(["--retain-history", str(args.retain_history)])
+        forwarded.extend(["--retain-history-rows", str(args.retain_history_rows)])
+        forwarded.extend(["--retain-cache", str(args.retain_cache)])
+        if args.no_lifecycle:
+            forwarded.append("--no-lifecycle")
     return serve_main(forwarded)
 
 
@@ -308,6 +325,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         forwarded.extend(["--replica-faults", args.replica_faults])
     if args.store:
         forwarded.extend(["--store", args.store])
+        forwarded.extend(["--checkpoint-interval", str(args.checkpoint_interval)])
+        forwarded.extend(["--retain-history", str(args.retain_history)])
+        forwarded.extend(["--retain-history-rows", str(args.retain_history_rows)])
+        forwarded.extend(["--retain-cache", str(args.retain_cache)])
     return cluster_main(forwarded)
 
 
@@ -327,13 +348,40 @@ def _cmd_tenants(args: argparse.Namespace) -> int:
             except ValueError as exc:
                 print(f"cannot provision tenant: {exc}", file=sys.stderr)
                 return 2
-            print(json.dumps(
-                {"tenant_id": args.tenant, "api_key": key},
-                indent=2, sort_keys=True,
-            ))
+            payload = {"tenant_id": args.tenant, "api_key": key}
+            if args.json:
+                # Machine-readable: one compact line on stdout, nothing else.
+                print(json.dumps(payload, sort_keys=True))
+                return 0
+            print(json.dumps(payload, indent=2, sort_keys=True))
             print("save the api_key now: only its digest is stored",
                   file=sys.stderr)
             return 0
+        if args.tenants_command == "rotate":
+            try:
+                key = store.rotate_key(args.tenant, overlap=args.overlap)
+            except ValueError as exc:
+                print(f"cannot rotate key: {exc}", file=sys.stderr)
+                return 2
+            payload = {
+                "tenant_id": args.tenant,
+                "api_key": key,
+                "overlap_seconds": args.overlap,
+            }
+            if args.json:
+                print(json.dumps(payload, sort_keys=True))
+                return 0
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            print("save the api_key now: only its digest is stored",
+                  file=sys.stderr)
+            return 0
+        if args.tenants_command == "revoke":
+            revoked = store.revoke_keys(args.tenant)
+            print(json.dumps(
+                {"tenant_id": args.tenant, "revoked": revoked},
+                sort_keys=True,
+            ))
+            return 0 if revoked else 2
         if args.tenants_command == "list":
             tenants = [t.to_dict() for t in store.list_tenants()]
             print(json.dumps({"tenants": tenants}, indent=2, sort_keys=True))
@@ -344,6 +392,32 @@ def _cmd_tenants(args: argparse.Namespace) -> int:
             return 2
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0
+    finally:
+        store.close()
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.store import DiagnosisStore, StoreError
+
+    store = DiagnosisStore(args.store)
+    try:
+        if args.store_command == "backup":
+            try:
+                result = store.backup(args.dest)
+            except (StoreError, ValueError, OSError) as exc:
+                print(f"backup failed: {exc}", file=sys.stderr)
+                return 2
+            print(json.dumps(result, indent=2, sort_keys=True))
+            return 0
+        if args.store_command == "scrub":
+            result = store.scrub()
+            print(json.dumps(result, indent=2, sort_keys=True))
+            return 0 if result["integrity"] == "ok" else 1
+        # status
+        snap = store.snapshot()
+        snap["integrity"] = store.integrity_check()
+        print(json.dumps(snap, indent=2, sort_keys=True))
+        return 0 if snap["integrity"] == "ok" else 1
     finally:
         store.close()
 
@@ -534,6 +608,26 @@ def _cmd_demo(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_lifecycle_args(parser: argparse.ArgumentParser) -> None:
+    """Store-lifecycle tuning flags shared by serve and cluster modes."""
+    parser.add_argument(
+        "--checkpoint-interval", type=float, default=60.0,
+        help="seconds between WAL checkpoint/retention ticks (default 60)",
+    )
+    parser.add_argument(
+        "--retain-history", type=float, default=30.0,
+        help="days of history to keep, 0 = forever (default 30)",
+    )
+    parser.add_argument(
+        "--retain-history-rows", type=int, default=100_000,
+        help="max history rows to keep, 0 = unlimited (default 100000)",
+    )
+    parser.add_argument(
+        "--retain-cache", type=float, default=0.0,
+        help="days of cache rows to keep, 0 = forever (default 0)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -718,6 +812,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="durable sqlite store: caches, experience and tenants "
         "survive restarts (see README 'Persistence & tenants')",
     )
+    _add_lifecycle_args(serve)
+    serve.add_argument(
+        "--no-lifecycle", action="store_true",
+        help="disable the store maintenance loop (another process owns it)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     cluster = sub.add_parser(
@@ -781,6 +880,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="durable sqlite store shared by every replica; the gateway "
         "seeds its gossip ledger from it at boot",
     )
+    _add_lifecycle_args(cluster)
     cluster.set_defaults(func=_cmd_cluster)
 
     tenants = sub.add_parser(
@@ -804,7 +904,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--quota-interval", dest="quota_interval", type=float, default=60.0,
         help="quota window in seconds (default 60)",
     )
+    tenants_create.add_argument(
+        "--json", action="store_true",
+        help="emit one compact JSON line on stdout (for provisioning scripts)",
+    )
     tenants_create.set_defaults(func=_cmd_tenants)
+
+    tenants_rotate = tenants_sub.add_parser(
+        "rotate", help="issue a fresh API key and retire the current one"
+    )
+    tenants_rotate.add_argument("tenant", help="tenant id")
+    tenants_rotate.add_argument("--store", required=True, help="durable store file")
+    tenants_rotate.add_argument(
+        "--overlap", type=float, default=0.0,
+        help="seconds the old key stays valid after rotation (default 0)",
+    )
+    tenants_rotate.add_argument(
+        "--json", action="store_true",
+        help="emit one compact JSON line on stdout (for provisioning scripts)",
+    )
+    tenants_rotate.set_defaults(func=_cmd_tenants)
+
+    tenants_revoke = tenants_sub.add_parser(
+        "revoke", help="revoke every API key a tenant holds (terminal)"
+    )
+    tenants_revoke.add_argument("tenant", help="tenant id")
+    tenants_revoke.add_argument("--store", required=True, help="durable store file")
+    tenants_revoke.set_defaults(func=_cmd_tenants)
 
     tenants_list = tenants_sub.add_parser(
         "list", help="list provisioned tenants (never their keys)"
@@ -822,6 +948,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="only the most recent N history rows (default: all)",
     )
     tenants_report.set_defaults(func=_cmd_tenants)
+
+    store_cmd = sub.add_parser(
+        "store", help="operate on a durable store: backup, scrub, status"
+    )
+    store_sub = store_cmd.add_subparsers(dest="store_command", required=True)
+
+    store_backup = store_sub.add_parser(
+        "backup", help="online backup to a new file (safe under live writers)"
+    )
+    store_backup.add_argument("dest", help="destination file (not the live store)")
+    store_backup.add_argument("--store", required=True, help="durable store file")
+    store_backup.set_defaults(func=_cmd_store)
+
+    store_scrub = store_sub.add_parser(
+        "scrub", help="re-verify cache seals and run integrity_check; "
+        "purge corrupt rows",
+    )
+    store_scrub.add_argument("--store", required=True, help="durable store file")
+    store_scrub.set_defaults(func=_cmd_store)
+
+    store_status = store_sub.add_parser(
+        "status", help="row counts, WAL size and integrity of a store file"
+    )
+    store_status.add_argument("--store", required=True, help="durable store file")
+    store_status.set_defaults(func=_cmd_store)
 
     watch = sub.add_parser(
         "watch",

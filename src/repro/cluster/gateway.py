@@ -103,6 +103,10 @@ class ClusterConfig:
     faults: str = ""  # JSON FaultPlan armed in the *gateway* (cluster.* points)
     replica_faults: str = ""  # JSON FaultPlan forwarded to every replica
     store: str = ""  # shared durable store file, forwarded to every replica
+    checkpoint_interval: float = 60.0  # gateway-run WAL checkpoint cadence, seconds
+    retain_history_days: float = 30.0  # history age window, days (0 = keep forever)
+    retain_history_rows: int = 100_000  # history row bound (0 = unbounded)
+    retain_cache_days: float = 0.0  # cache-row age window, days (0 = row bound only)
 
     def __post_init__(self) -> None:
         if self.replicas < 1:
@@ -124,6 +128,9 @@ class ClusterConfig:
             supervise=self.supervise,
             faults_json=self.replica_faults,
             store_path=self.store,
+            # One maintenance loop per store *file*: the gateway owns it,
+            # so N replicas never checkpoint the shared WAL in lockstep.
+            lifecycle=False,
         )
 
 
@@ -148,8 +155,11 @@ class ClusterGateway:
         self.ring = HashRing(self.fleet.replica_ids, vnodes=config.vnodes)
         self.gossip = ExperienceGossip()
         self.telemetry = Telemetry()
+        self.maintenance = None
+        self._store = None
         if config.store:
             self._seed_gossip_from_store(config.store)
+            self._build_maintenance(config)
         self._local = threading.local()  # one forwarding client per thread
         width = max(4, config.replicas * config.workers + 2)
         self._forward = ThreadPoolExecutor(width, thread_name_prefix="forward")
@@ -191,6 +201,35 @@ class ClusterGateway:
                 )
             )
 
+    def _build_maintenance(self, config: ClusterConfig) -> None:
+        """The gateway is the fleet's single maintenance owner.
+
+        Replicas run with the lifecycle disabled (see
+        ``replica_config``); the gateway opens its own connection to the
+        shared file and checkpoints/retains on behalf of everyone.  WAL
+        checkpointing is cooperative across connections, so the
+        replicas' writes are what this loop flushes.
+        """
+        from repro.store import (
+            DiagnosisStore,
+            LifecycleConfig,
+            RetentionPolicy,
+            StoreMaintenance,
+        )
+
+        self._store = DiagnosisStore(config.store)
+        self.maintenance = StoreMaintenance(
+            self._store,
+            LifecycleConfig(
+                checkpoint_interval=config.checkpoint_interval,
+                retention=RetentionPolicy(
+                    history_max_age=config.retain_history_days * 86400.0,
+                    history_max_rows=config.retain_history_rows,
+                    cache_max_age=config.retain_cache_days * 86400.0,
+                ),
+            ),
+        )
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -198,6 +237,8 @@ class ClusterGateway:
         """Boot the fleet, then bind (resolves ``self.port``)."""
         self._started = time.monotonic()
         self._idle.set()
+        if self.maintenance is not None:
+            self.maintenance.start()
         loop = asyncio.get_running_loop()
         await loop.run_in_executor(self._control, self.fleet.start)
         self._server = await asyncio.start_server(
@@ -267,6 +308,11 @@ class ClusterGateway:
         )
         self._forward.shutdown(wait=drained)
         self._control.shutdown(wait=True)
+        if self.maintenance is not None:
+            # Final checkpoint after every replica has flushed and exited.
+            self.maintenance.stop(final_tick=True)
+        if self._store is not None:
+            self._store.close()
         self.telemetry.event("cluster_drain_end", clean=drained)
         log.info(
             json.dumps(
@@ -444,10 +490,14 @@ class ClusterGateway:
             payload = error_payload(exc.status, exc.message, request_id)
             extra.update(exc.headers)
         except ClientError as exc:
-            # A replica's own answer (400/404/504/terminal 503) passes
-            # through untouched — the gateway adds routing, not opinions.
+            # A replica's own answer (400/401/429/504/terminal 503)
+            # passes through untouched — the gateway adds routing, not
+            # opinions.  Retry-After rides along so a quota 429's
+            # refill-rate hint survives the hop.
             status = exc.status
             payload = exc.payload
+            if exc.retry_after is not None:
+                extra["Retry-After"] = exc.retry_after
             if isinstance(payload, dict):
                 payload.setdefault("request_id", request_id)
         except Exception as exc:
@@ -503,7 +553,10 @@ class ClusterGateway:
             ready = len(self.fleet.ready_endpoints())
             if not ready:
                 return 503, {"status": "no replicas ready"}, {}
-            return 200, {"status": "ready", "replicas_ready": ready}, {}
+            payload: Dict[str, object] = {"status": "ready", "replicas_ready": ready}
+            if self.maintenance is not None:
+                payload["lifecycle"] = self.maintenance.snapshot()
+            return 200, payload, {}
         if path == "/metrics":
             if method != "GET":
                 raise HttpError(405, "use GET", {"Allow": "GET"})
@@ -543,6 +596,9 @@ class ClusterGateway:
             "ring": self.ring.snapshot(),
             "fleet": self.fleet.snapshot(),
             "gossip": self.gossip.snapshot(),
+            "lifecycle": (
+                self.maintenance.snapshot() if self.maintenance is not None else None
+            ),
             "cluster_telemetry": (
                 Telemetry.merge(telemetries) if telemetries else None
             ),
@@ -552,6 +608,24 @@ class ClusterGateway:
     def _reject_if_draining(self) -> None:
         if self._draining:
             raise HttpError(503, "cluster is draining", {"Retry-After": "1"})
+
+    @staticmethod
+    def _forward_headers(request: HttpRequest) -> Optional[Dict[str, str]]:
+        """The caller's credentials, passed through to the replica.
+
+        The gateway does not resolve tenants itself — replicas own auth
+        and (store-backed) quota enforcement, and since every replica
+        debits the same ``quota_buckets`` row, forwarding the identity
+        is all it takes for the fleet to share one budget per tenant.
+        """
+        headers = {}
+        auth = request.headers.get("authorization", "")
+        if auth:
+            headers["Authorization"] = auth
+        api_key = request.headers.get("x-api-key", "")
+        if api_key:
+            headers["X-Api-Key"] = api_key
+        return headers or None
 
     async def _handle_diagnose(
         self, request: HttpRequest, request_id: str
@@ -564,13 +638,17 @@ class ClusterGateway:
             raise HttpError(400, str(exc)) from None
         targets = self._targets(job.content_hash)
         tracing = request.query.get("trace", "") in ("1", "true", "yes")
+        credentials = self._forward_headers(request)
         loop = asyncio.get_running_loop()
 
         def forward() -> Dict:
             client = self._client()
             try:
                 data = client.diagnose(
-                    spec, trace=tracing, endpoints=[e for _, e in targets]
+                    spec,
+                    trace=tracing,
+                    endpoints=[e for _, e in targets],
+                    headers=credentials,
                 )
             except ServerUnavailable:
                 self.fleet.note_outcome(targets[0][0], False)
@@ -604,6 +682,7 @@ class ClusterGateway:
                 targets[0][0], {"targets": targets, "indices": []}
             )
             shard["indices"].append(index)
+        credentials = self._forward_headers(request)
         loop = asyncio.get_running_loop()
 
         def forward(shard: Dict) -> Dict:
@@ -611,7 +690,9 @@ class ClusterGateway:
             targets = shard["targets"]
             subset = [specs[i] for i in shard["indices"]]
             try:
-                data = client.batch(subset, endpoints=[e for _, e in targets])
+                data = client.batch(
+                    subset, endpoints=[e for _, e in targets], headers=credentials
+                )
             except ServerUnavailable:
                 self.fleet.note_outcome(targets[0][0], False)
                 raise
@@ -722,6 +803,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="durable sqlite store shared by every replica (caches and "
         "experience survive restarts; the gateway seeds gossip from it)",
     )
+    parser.add_argument(
+        "--checkpoint-interval", type=float, default=60.0,
+        help="gateway-run WAL checkpoint cadence in seconds (default 60; 0 never)",
+    )
+    parser.add_argument(
+        "--retain-history", type=float, default=30.0, metavar="DAYS",
+        help="drop history rows older than DAYS (default 30; 0 keeps forever)",
+    )
+    parser.add_argument(
+        "--retain-history-rows", type=int, default=100_000, metavar="N",
+        help="keep at most N history rows (default 100000; 0 unbounded)",
+    )
+    parser.add_argument(
+        "--retain-cache", type=float, default=0.0, metavar="DAYS",
+        help="drop cache rows older than DAYS (default 0: row bound only)",
+    )
     return parser
 
 
@@ -745,6 +842,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             faults=args.faults,
             replica_faults=args.replica_faults,
             store=args.store,
+            checkpoint_interval=args.checkpoint_interval,
+            retain_history_days=args.retain_history,
+            retain_history_rows=args.retain_history_rows,
+            retain_cache_days=args.retain_cache,
         )
     except ValueError as exc:
         print(f"bad cluster options: {exc}", flush=True)

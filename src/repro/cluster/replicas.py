@@ -70,6 +70,7 @@ class ReplicaConfig:
         faults_json: str = "",
         verify_kernel: bool = False,
         store_path: str = "",
+        lifecycle: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError("each replica needs at least one worker")
@@ -84,6 +85,9 @@ class ReplicaConfig:
         # One shared store file for the whole fleet: sqlite WAL handles
         # the cross-process writers, and every respawn restores from it.
         self.store_path = store_path
+        # False when the gateway runs the store maintenance loop itself
+        # (one checkpointer per file, not one per replica).
+        self.lifecycle = lifecycle
 
     def to_args(self) -> List[str]:
         args = [
@@ -102,6 +106,8 @@ class ReplicaConfig:
             args.append("--verify-kernel")
         if self.store_path:
             args.extend(["--store", self.store_path])
+            if not self.lifecycle:
+                args.append("--no-lifecycle")
         return args
 
 

@@ -72,7 +72,6 @@ import functools
 import itertools
 import json
 import logging
-import math
 import re
 import signal
 import time
@@ -130,6 +129,11 @@ class ServerConfig:
     verify_kernel: bool = False  # differential-check every fast-kernel run
     store: str = ""  # sqlite persistence-plane path; "" = in-memory only
     disk_cache_size: int = 4096  # store cache-table row bound
+    lifecycle: bool = True  # run StoreMaintenance (cluster replicas turn it off)
+    checkpoint_interval: float = 60.0  # WAL checkpoint cadence, seconds (0 = never)
+    retain_history_days: float = 30.0  # history age window, days (0 = keep forever)
+    retain_history_rows: int = 100_000  # history row bound (0 = unbounded)
+    retain_cache_days: float = 0.0  # cache-row age window, days (0 = row bound only)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -157,12 +161,34 @@ class DiagnosisServer:
         self.store = None
         self.tenants = None
         self.quotas = None
+        self.maintenance = None
         if config.store:
-            from repro.store import DiagnosisStore, QuotaTracker, TenantRegistry
+            from repro.store import DiagnosisStore, TenantRegistry, TokenBucketQuota
 
             self.store = DiagnosisStore(config.store)
             self.tenants = TenantRegistry(self.store)
-            self.quotas = QuotaTracker()
+            # Store-backed token buckets: every replica sharing the file
+            # debits the same per-tenant budget (vs. the per-process
+            # fixed window of the storeless QuotaTracker).
+            self.quotas = TokenBucketQuota(self.store)
+            if config.lifecycle:
+                from repro.store import (
+                    LifecycleConfig,
+                    RetentionPolicy,
+                    StoreMaintenance,
+                )
+
+                self.maintenance = StoreMaintenance(
+                    self.store,
+                    LifecycleConfig(
+                        checkpoint_interval=config.checkpoint_interval,
+                        retention=RetentionPolicy(
+                            history_max_age=config.retain_history_days * 86400.0,
+                            history_max_rows=config.retain_history_rows,
+                            cache_max_age=config.retain_cache_days * 86400.0,
+                        ),
+                    ),
+                )
         self.engine = engine or FleetEngine(
             workers=config.workers,
             executor="thread",
@@ -205,6 +231,8 @@ class DiagnosisServer:
     async def start(self) -> None:
         """Bind and start accepting (resolves ``self.port``)."""
         self._started = time.monotonic()
+        if self.maintenance is not None:
+            self.maintenance.start()
         self._server = await asyncio.start_server(
             self._handle_connection, host=self.config.host, port=self.config.port
         )
@@ -261,6 +289,9 @@ class DiagnosisServer:
             await asyncio.gather(*connections, return_exceptions=True)
         self._executor.shutdown(wait=drained)
         self._stream_executor.shutdown(wait=drained)
+        if self.maintenance is not None:
+            # Final tick: leave the WAL checkpointed behind us.
+            self.maintenance.stop(final_tick=True)
         if self.store is not None:
             self.store.close()
         self.telemetry.event("server_drain_end", clean=drained)
@@ -407,7 +438,10 @@ class DiagnosisServer:
                 raise HttpError(405, "use GET", {"Allow": "GET"})
             if self._draining:
                 return 503, {"status": "draining"}, {}
-            return 200, {"status": "ready"}, {}
+            ready: Dict[str, object] = {"status": "ready"}
+            if self.maintenance is not None:
+                ready["lifecycle"] = self.maintenance.snapshot()
+            return 200, ready, {}
         if path == "/metrics":
             if method != "GET":
                 raise HttpError(405, "use GET", {"Allow": "GET"})
@@ -460,7 +494,12 @@ class DiagnosisServer:
         return record
 
     def _check_quota(self, tenant: "Optional[TenantRecord]") -> None:
-        """Enforce the tenant's request quota (429 + Retry-After on breach)."""
+        """Enforce the tenant's request quota (429 + Retry-After on breach).
+
+        ``Retry-After`` is float seconds until the next token accrues at
+        the bucket's refill rate — the honest wait, not a fixed-window
+        "try again next epoch" round-up.
+        """
         if tenant is None or self.quotas is None:
             return
         decision = self.quotas.check(tenant)
@@ -470,7 +509,7 @@ class DiagnosisServer:
                 429,
                 f"tenant {tenant.tenant_id!r} exceeded "
                 f"{tenant.quota_limit} requests per {tenant.quota_interval:g}s",
-                {"Retry-After": str(max(1, math.ceil(decision.retry_after)))},
+                {"Retry-After": f"{max(decision.retry_after, 0.001):.3f}"},
             )
 
     def _handle_tenant_report(
@@ -546,6 +585,9 @@ class DiagnosisServer:
             "experience_rules": len(self.engine.experience),
             "store": self.store.snapshot() if self.store is not None else None,
             "quota": self.quotas.snapshot() if self.quotas is not None else None,
+            "lifecycle": (
+                self.maintenance.snapshot() if self.maintenance is not None else None
+            ),
             "telemetry": self.telemetry.snapshot(samples=samples),
         }
 
@@ -880,6 +922,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="sqlite persistence-plane path (durable cache + experience, "
         "tenant auth/quotas, diagnosis history); default: in-memory only",
     )
+    parser.add_argument(
+        "--checkpoint-interval", type=float, default=60.0,
+        help="store WAL checkpoint cadence in seconds, jittered (default 60; 0 never)",
+    )
+    parser.add_argument(
+        "--retain-history", type=float, default=30.0, metavar="DAYS",
+        help="drop history rows older than DAYS (default 30; 0 keeps forever)",
+    )
+    parser.add_argument(
+        "--retain-history-rows", type=int, default=100_000, metavar="N",
+        help="keep at most N history rows (default 100000; 0 unbounded)",
+    )
+    parser.add_argument(
+        "--retain-cache", type=float, default=0.0, metavar="DAYS",
+        help="drop cache rows older than DAYS (default 0: row bound only)",
+    )
+    parser.add_argument(
+        "--no-lifecycle", action="store_true",
+        help="skip the store maintenance loop (cluster replicas: the "
+        "gateway checkpoints the shared file instead)",
+    )
     return parser
 
 
@@ -901,6 +964,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             max_streams=args.max_streams,
             heartbeat=args.heartbeat,
             store=args.store,
+            lifecycle=not args.no_lifecycle,
+            checkpoint_interval=args.checkpoint_interval,
+            retain_history_days=args.retain_history,
+            retain_history_rows=args.retain_history_rows,
+            retain_cache_days=args.retain_cache,
         )
     except ValueError as exc:
         print(f"bad server options: {exc}", flush=True)

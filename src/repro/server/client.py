@@ -109,8 +109,20 @@ class ClientError(Exception):
         self.status = status
         self.payload = payload
         #: The server's ``Retry-After`` header, when one accompanied the
-        #: error (quota 429s and load-shed 503s send one).
+        #: error (quota 429s and load-shed 503s send one).  Quota 429s
+        #: carry *float seconds* computed from the token bucket's refill
+        #: rate — parse with :attr:`retry_after_seconds`.
         self.retry_after: Optional[str] = None
+
+    @property
+    def retry_after_seconds(self) -> Optional[float]:
+        """``Retry-After`` as float seconds (None when absent/unparsable)."""
+        if self.retry_after is None:
+            return None
+        try:
+            return float(self.retry_after)
+        except ValueError:
+            return None
 
 
 class AuthError(ClientError):
@@ -236,12 +248,18 @@ class DiagnosisClient:
         payload: Optional[object] = None,
         retry_503: bool = True,
         endpoints: Optional[Sequence[object]] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> Dict:
         body = None
         # One id per *logical* request, reused verbatim across retry
         # attempts — the server adopts it, so retries share one trace.
         request_id = f"cli-{uuid.uuid4().hex[:16]}"
         headers = {"Accept": "application/json", "X-Request-Id": request_id}
+        if extra_headers:
+            # Per-request headers (the gateway forwards the caller's
+            # credentials through these); still subject to redaction in
+            # the attempt log below.
+            headers.update(extra_headers)
         if self.api_key:
             if self.api_key_header == "x-api-key":
                 headers["X-Api-Key"] = self.api_key
@@ -371,21 +389,33 @@ class DiagnosisClient:
         spec: Dict,
         trace: bool = False,
         endpoints: Optional[Sequence[object]] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Dict:
         """POST one job spec (the batch-manifest job shape) → JobResult dict.
 
         ``trace=True`` asks the server for the engine's span tree
         (returned under the result's ``"trace"`` key).  ``endpoints``
-        overrides the target order for this request (ring failover).
+        overrides the target order for this request (ring failover);
+        ``headers`` adds per-request headers (the gateway forwards the
+        caller's credentials this way).
         """
         path = "/v1/diagnose?trace=1" if trace else "/v1/diagnose"
-        return self._request("POST", path, spec, endpoints=endpoints)
+        return self._request("POST", path, spec, endpoints=endpoints, extra_headers=headers)
 
     def batch(
-        self, specs: List[Dict], endpoints: Optional[Sequence[object]] = None
+        self,
+        specs: List[Dict],
+        endpoints: Optional[Sequence[object]] = None,
+        headers: Optional[Dict[str, str]] = None,
     ) -> Dict:
         """POST a list of job specs → results in job order."""
-        return self._request("POST", "/v1/batch", {"jobs": list(specs)}, endpoints=endpoints)
+        return self._request(
+            "POST",
+            "/v1/batch",
+            {"jobs": list(specs)},
+            endpoints=endpoints,
+            extra_headers=headers,
+        )
 
     def experience(self, endpoints: Optional[Sequence[object]] = None) -> Dict:
         """GET the replica's shared :class:`ExperienceBase` as plain data."""

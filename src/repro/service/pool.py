@@ -50,6 +50,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.store.db import DiagnosisStore
+    from repro.store.lifecycle import StoreMaintenance
 
 from repro.core.diagnosis import Flames
 from repro.core.knowledge import KnowledgeBase
@@ -317,6 +318,12 @@ class FleetEngine:
             keeps everything in-memory and byte-identical to before.
         disk_cache_size: row bound of the store's cache table when the
             engine builds the persistent cache itself.
+        maintenance: an optional
+            :class:`~repro.store.lifecycle.StoreMaintenance` driven
+            *opportunistically*: after each batch the engine calls
+            ``maybe_tick()``, which checkpoints/retains only once the
+            configured interval has elapsed — batch mode gets store
+            upkeep amortised into the workload, with no extra thread.
     """
 
     def __init__(
@@ -335,6 +342,7 @@ class FleetEngine:
         verify_kernel: bool = False,
         store: "Optional[DiagnosisStore]" = None,
         disk_cache_size: int = 4096,
+        maintenance: "Optional[StoreMaintenance]" = None,
     ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -347,6 +355,7 @@ class FleetEngine:
         self.timeout = timeout
         self.retries = retries
         self.store = store
+        self.maintenance = maintenance
         if cache is None and store is not None:
             from repro.store.cache import PersistentResultCache
 
@@ -459,6 +468,10 @@ class FleetEngine:
 
         wall = time.perf_counter() - started
         tel.observe("batch_seconds", wall)
+        if self.maintenance is not None:
+            # Opportunistic store upkeep between batches (interval-gated
+            # inside maybe_tick; a no-op until it's due).
+            self.maintenance.maybe_tick()
         return BatchReport(
             results=ordered,
             telemetry=tel.snapshot(),

@@ -12,6 +12,11 @@ isolated per tenant:
 * :class:`TenantRegistry` / :class:`QuotaTracker` — auth resolution
   and fixed-window quotas at the server boundary
   (:mod:`repro.store.tenants`);
+* :class:`TokenBucketQuota` — store-backed token buckets so a whole
+  replica fleet shares one budget per tenant (:mod:`repro.store.quota`);
+* :class:`StoreMaintenance` — the supervised upkeep loop: jittered WAL
+  checkpoints, bounded-batch retention, online backup and seal scrub
+  (:mod:`repro.store.lifecycle`);
 * :func:`build_report` — fleet-health summaries over persisted history
   (:mod:`repro.store.reports`).
 
@@ -22,6 +27,8 @@ in-memory planes.
 
 from repro.store.cache import NAMESPACE_SEP, PersistentResultCache, namespaced_key
 from repro.store.db import PUBLIC_TENANT, DiagnosisStore, StoreError, TenantRecord
+from repro.store.lifecycle import LifecycleConfig, RetentionPolicy, StoreMaintenance
+from repro.store.quota import TokenBucketQuota
 from repro.store.reports import build_report
 from repro.store.tenants import QuotaDecision, QuotaTracker, TenantRegistry
 
@@ -36,5 +43,9 @@ __all__ = [
     "TenantRegistry",
     "QuotaTracker",
     "QuotaDecision",
+    "TokenBucketQuota",
+    "LifecycleConfig",
+    "RetentionPolicy",
+    "StoreMaintenance",
     "build_report",
 ]

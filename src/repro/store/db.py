@@ -55,7 +55,7 @@ __all__ = ["DiagnosisStore", "StoreError", "TenantRecord", "PUBLIC_TENANT"]
 #: tenant just gives that traffic a durable home too.
 PUBLIC_TENANT = "public"
 
-_SCHEMA_VERSION = 1
+_SCHEMA_VERSION = 2
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -63,11 +63,12 @@ CREATE TABLE IF NOT EXISTS meta (
     value TEXT NOT NULL
 );
 CREATE TABLE IF NOT EXISTS cache_entries (
-    namespace TEXT NOT NULL,
-    key       TEXT NOT NULL,
-    blob      TEXT NOT NULL,
-    digest    TEXT NOT NULL,
-    seq       INTEGER NOT NULL,
+    namespace  TEXT NOT NULL,
+    key        TEXT NOT NULL,
+    blob       TEXT NOT NULL,
+    digest     TEXT NOT NULL,
+    seq        INTEGER NOT NULL,
+    created_at REAL NOT NULL DEFAULT 0,
     PRIMARY KEY (namespace, key)
 );
 CREATE INDEX IF NOT EXISTS cache_entries_seq ON cache_entries (seq);
@@ -109,6 +110,20 @@ CREATE TABLE IF NOT EXISTS history (
     created_at   REAL NOT NULL
 );
 CREATE INDEX IF NOT EXISTS history_tenant ON history (tenant);
+CREATE INDEX IF NOT EXISTS history_created ON history (created_at);
+CREATE TABLE IF NOT EXISTS tenant_keys (
+    digest     TEXT PRIMARY KEY,
+    tenant_id  TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    not_after  REAL NOT NULL DEFAULT 0,
+    revoked    INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS tenant_keys_tenant ON tenant_keys (tenant_id);
+CREATE TABLE IF NOT EXISTS quota_buckets (
+    tenant     TEXT PRIMARY KEY,
+    tokens     REAL NOT NULL,
+    updated_at REAL NOT NULL
+);
 """
 
 
@@ -162,6 +177,9 @@ class DiagnosisStore:
         self._conn.isolation_level = None  # explicit transactions only
         with self._lock:
             cur = self._conn.cursor()
+            # Must precede table creation to take effect; files created
+            # before this setting simply no-op on incremental_vacuum.
+            cur.execute("PRAGMA auto_vacuum=INCREMENTAL")
             cur.execute("PRAGMA journal_mode=WAL")
             cur.execute("PRAGMA synchronous=NORMAL")
             cur.execute(f"PRAGMA busy_timeout={int(busy_timeout * 1000)}")
@@ -172,6 +190,52 @@ class DiagnosisStore:
                 "INSERT OR IGNORE INTO meta (key, value) VALUES ('schema_version', ?)",
                 (str(_SCHEMA_VERSION),),
             )
+            self._migrate(cur)
+
+    def _migrate(self, cur: sqlite3.Cursor) -> None:
+        """Upgrade an existing store file in place (v1 → v2).
+
+        v2 moves key material into ``tenant_keys`` (several digests may
+        be active per tenant, each with its own expiry/revocation) and
+        adds ``quota_buckets`` plus a ``created_at`` column on cache
+        rows so age-based retention has something to bite on.
+        """
+        row = cur.execute("SELECT value FROM meta WHERE key = 'schema_version'").fetchone()
+        version = int(row[0]) if row else _SCHEMA_VERSION
+        if version > _SCHEMA_VERSION:
+            raise StoreError(
+                f"store {self.path!r} has schema v{version}; this build reads up to "
+                f"v{_SCHEMA_VERSION}"
+            )
+        if version == _SCHEMA_VERSION:
+            return
+        columns = {r[1] for r in cur.execute("PRAGMA table_info(cache_entries)")}
+        cur.execute("BEGIN IMMEDIATE")
+        try:
+            if "created_at" not in columns:
+                cur.execute(
+                    "ALTER TABLE cache_entries ADD COLUMN created_at REAL NOT NULL DEFAULT 0"
+                )
+            # Pre-migration rows carry no timestamp; stamping them "now"
+            # starts their retention clock at the upgrade, which is the
+            # conservative choice (never mass-expire a warm cache).
+            now = time.time()
+            cur.execute(
+                "UPDATE cache_entries SET created_at = ? WHERE created_at = 0", (now,)
+            )
+            cur.execute(
+                "INSERT OR IGNORE INTO tenant_keys "
+                "(digest, tenant_id, created_at, not_after, revoked) "
+                "SELECT key_digest, tenant_id, created_at, 0, 0 FROM tenants"
+            )
+            cur.execute(
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                (str(_SCHEMA_VERSION),),
+            )
+            cur.execute("COMMIT")
+        except sqlite3.DatabaseError:
+            cur.execute("ROLLBACK")
+            raise
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -244,8 +308,9 @@ class DiagnosisStore:
             try:
                 cur.execute(
                     "INSERT OR REPLACE INTO cache_entries "
-                    "(namespace, key, blob, digest, seq) VALUES (?, ?, ?, ?, ?)",
-                    (namespace, key, blob, digest, self._next_seq(cur)),
+                    "(namespace, key, blob, digest, seq, created_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (namespace, key, blob, digest, self._next_seq(cur), time.time()),
                 )
                 evicted = 0
                 if max_rows > 0:
@@ -454,6 +519,7 @@ class DiagnosisStore:
         if quota_interval <= 0:
             raise ValueError("quota_interval must be positive")
         key = api_key if api_key is not None else f"rk_{secrets.token_hex(16)}"
+        now = time.time()
         with self._lock:
             cur = self._conn.cursor()
             cur.execute("BEGIN IMMEDIATE")
@@ -467,8 +533,13 @@ class DiagnosisStore:
                         _hash_key(key),
                         int(quota_limit),
                         float(quota_interval),
-                        time.time(),
+                        now,
                     ),
+                )
+                cur.execute(
+                    "INSERT INTO tenant_keys (digest, tenant_id, created_at) "
+                    "VALUES (?, ?, ?)",
+                    (_hash_key(key), tenant_id, now),
                 )
                 cur.execute("COMMIT")
             except sqlite3.IntegrityError:
@@ -479,17 +550,127 @@ class DiagnosisStore:
                 raise
         return key
 
-    def resolve_api_key(self, api_key: str) -> Optional[TenantRecord]:
-        """The tenant owning ``api_key``, or None (never raises on junk)."""
+    def resolve_api_key(
+        self, api_key: str, now: Optional[float] = None
+    ) -> Optional[TenantRecord]:
+        """The tenant owning ``api_key``, or None (never raises on junk).
+
+        Keys live in ``tenant_keys`` — several digests may be active for
+        one tenant during a rotation overlap.  A digest that has been
+        revoked, or whose ``not_after`` has passed, resolves to None
+        exactly as an unknown key does.
+        """
         if not api_key:
             return None
+        if now is None:
+            now = time.time()
         with self._lock:
             row = self._conn.execute(
-                "SELECT tenant_id, name, quota_limit, quota_interval, created_at "
-                "FROM tenants WHERE key_digest = ?",
+                "SELECT t.tenant_id, t.name, t.quota_limit, t.quota_interval, "
+                "t.created_at, k.not_after, k.revoked "
+                "FROM tenant_keys k JOIN tenants t ON t.tenant_id = k.tenant_id "
+                "WHERE k.digest = ?",
                 (_hash_key(api_key),),
             ).fetchone()
-        return TenantRecord(*row) if row else None
+        if row is None:
+            return None
+        not_after, revoked = float(row[5]), int(row[6])
+        if revoked or (not_after > 0 and now >= not_after):
+            return None
+        return TenantRecord(*row[:5])
+
+    def rotate_key(
+        self,
+        tenant_id: str,
+        overlap: float = 0.0,
+        api_key: Optional[str] = None,
+        now: Optional[float] = None,
+    ) -> str:
+        """Mint a fresh API key for ``tenant_id`` and expire the old ones.
+
+        Existing active digests get ``not_after = now + overlap`` (0 by
+        default — the old key dies immediately; a positive overlap gives
+        callers a grace window to swap credentials).  The new key is
+        returned exactly once; only its digest is stored.  One
+        transaction, so a crash mid-rotation never leaves the tenant
+        keyless.
+        """
+        if overlap < 0:
+            raise ValueError("overlap must be non-negative")
+        if now is None:
+            now = time.time()
+        key = api_key if api_key is not None else f"rk_{secrets.token_hex(16)}"
+        with self._lock:
+            cur = self._conn.cursor()
+            cur.execute("BEGIN IMMEDIATE")
+            try:
+                exists = cur.execute(
+                    "SELECT 1 FROM tenants WHERE tenant_id = ?", (tenant_id,)
+                ).fetchone()
+                if exists is None:
+                    cur.execute("ROLLBACK")
+                    raise ValueError(f"no such tenant {tenant_id!r}")
+                cur.execute(
+                    "UPDATE tenant_keys SET not_after = ? WHERE tenant_id = ? "
+                    "AND revoked = 0 AND (not_after = 0 OR not_after > ?)",
+                    (now + overlap, tenant_id, now + overlap),
+                )
+                cur.execute(
+                    "INSERT INTO tenant_keys (digest, tenant_id, created_at) "
+                    "VALUES (?, ?, ?)",
+                    (_hash_key(key), tenant_id, now),
+                )
+                cur.execute(
+                    "UPDATE tenants SET key_digest = ? WHERE tenant_id = ?",
+                    (_hash_key(key), tenant_id),
+                )
+                cur.execute("COMMIT")
+            except sqlite3.DatabaseError:
+                cur.execute("ROLLBACK")
+                raise
+        return key
+
+    def revoke_keys(self, tenant_id: str) -> int:
+        """Revoke every key the tenant holds; returns how many died.
+
+        Revocation is terminal (rotation un-wedges a revoked tenant by
+        minting a fresh key).  Callers already holding a cached
+        :class:`TenantRecord` keep working until their registry TTL
+        lapses — that TTL is the advertised revocation latency.
+        """
+        with self._lock:
+            cur = self._conn.cursor()
+            cur.execute("BEGIN IMMEDIATE")
+            try:
+                cur.execute(
+                    "UPDATE tenant_keys SET revoked = 1 "
+                    "WHERE tenant_id = ? AND revoked = 0",
+                    (tenant_id,),
+                )
+                revoked = cur.rowcount
+                cur.execute("COMMIT")
+            except sqlite3.DatabaseError:
+                cur.execute("ROLLBACK")
+                raise
+        return int(revoked)
+
+    def list_keys(self, tenant_id: str) -> List[Dict]:
+        """Key metadata for one tenant (digest prefixes only, no keys)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT digest, created_at, not_after, revoked FROM tenant_keys "
+                "WHERE tenant_id = ? ORDER BY created_at",
+                (tenant_id,),
+            ).fetchall()
+        return [
+            {
+                "digest_prefix": digest[:12],
+                "created_at": float(created_at),
+                "not_after": float(not_after),
+                "revoked": bool(revoked),
+            }
+            for digest, created_at, not_after, revoked in rows
+        ]
 
     def get_tenant(self, tenant_id: str) -> Optional[TenantRecord]:
         with self._lock:
@@ -584,6 +765,240 @@ class DiagnosisStore:
             return int(row[0])
 
     # ------------------------------------------------------------------
+    # Quota buckets (one shared token bucket per tenant, all replicas)
+    # ------------------------------------------------------------------
+    def quota_debit(
+        self,
+        tenant_id: str,
+        capacity: float,
+        interval: float,
+        cost: float = 1.0,
+        now: Optional[float] = None,
+    ) -> Tuple[bool, float, float]:
+        """Atomically refill and debit one tenant's token bucket.
+
+        The bucket holds at most ``capacity`` tokens and refills at
+        ``capacity / interval`` tokens per second.  Refill and debit
+        happen in a single ``BEGIN IMMEDIATE`` transaction, so every
+        replica sharing the store file sees one budget and a crash
+        between refill and debit never double-charges (the transaction
+        either committed or it didn't).
+
+        Returns ``(allowed, retry_after, remaining)`` — ``retry_after``
+        is the float seconds until one token accrues at the refill rate
+        (0.0 when admitted).
+        """
+        if capacity <= 0 or interval <= 0:
+            return True, 0.0, -1.0
+        if now is None:
+            now = time.time()
+        rate = float(capacity) / float(interval)
+        with self._lock:
+            cur = self._conn.cursor()
+            cur.execute("BEGIN IMMEDIATE")
+            try:
+                row = cur.execute(
+                    "SELECT tokens, updated_at FROM quota_buckets WHERE tenant = ?",
+                    (tenant_id,),
+                ).fetchone()
+                if row is None:
+                    tokens = float(capacity)
+                else:
+                    elapsed = max(0.0, now - float(row[1]))
+                    tokens = min(float(capacity), float(row[0]) + elapsed * rate)
+                if tokens >= cost:
+                    tokens -= cost
+                    allowed, retry_after = True, 0.0
+                else:
+                    allowed, retry_after = False, (cost - tokens) / rate
+                cur.execute(
+                    "INSERT OR REPLACE INTO quota_buckets (tenant, tokens, updated_at) "
+                    "VALUES (?, ?, ?)",
+                    (tenant_id, tokens, now),
+                )
+                cur.execute("COMMIT")
+            except sqlite3.DatabaseError:
+                cur.execute("ROLLBACK")
+                raise
+        return allowed, retry_after, tokens
+
+    def quota_levels(self) -> Dict[str, float]:
+        """Current token level per tenant bucket (metrics fodder)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT tenant, tokens FROM quota_buckets ORDER BY tenant"
+            ).fetchall()
+        return {tenant: round(float(tokens), 3) for tenant, tokens in rows}
+
+    # ------------------------------------------------------------------
+    # Maintenance primitives (driven by repro.store.lifecycle)
+    # ------------------------------------------------------------------
+    def checkpoint(self, truncate: bool = True) -> Tuple[int, int, int]:
+        """Run a WAL checkpoint (+ incremental vacuum); ``(busy, log, done)``.
+
+        ``busy`` is 1 when a concurrent reader pinned the WAL and the
+        checkpoint could not finish — callers back off and retry rather
+        than blocking the writer.  ``log``/``done`` are total and
+        checkpointed WAL frames.
+        """
+        mode = "TRUNCATE" if truncate else "PASSIVE"
+        with self._lock:
+            cur = self._conn.cursor()
+            cur.execute("PRAGMA incremental_vacuum")
+            row = cur.execute(f"PRAGMA wal_checkpoint({mode})").fetchone()
+        busy, log, done = (int(v) if v is not None else 0 for v in row)
+        return busy, log, done
+
+    def wal_size(self) -> int:
+        """Bytes currently sitting in the WAL file (0 when fully checkpointed)."""
+        try:
+            return Path(self.path + "-wal").stat().st_size
+        except OSError:
+            return 0
+
+    def retain_history(
+        self,
+        max_age: float = 0.0,
+        max_rows: int = 0,
+        batch: int = 500,
+        now: Optional[float] = None,
+    ) -> int:
+        """Delete expired/overflow history rows, at most ``batch`` per call.
+
+        Age and row-count windows compose (0 disables either).  The
+        bounded batch keeps each delete transaction short so a live
+        writer never stalls behind retention; the lifecycle loop calls
+        this repeatedly until it returns less than a full batch.
+        """
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        if now is None:
+            now = time.time()
+        deleted = 0
+        with self._lock:
+            cur = self._conn.cursor()
+            cur.execute("BEGIN IMMEDIATE")
+            try:
+                if max_age > 0:
+                    cur.execute(
+                        "DELETE FROM history WHERE id IN ("
+                        "SELECT id FROM history WHERE created_at < ? ORDER BY id LIMIT ?)",
+                        (now - max_age, batch),
+                    )
+                    deleted += cur.rowcount
+                if max_rows > 0 and deleted < batch:
+                    total = int(cur.execute("SELECT COUNT(*) FROM history").fetchone()[0])
+                    overflow = min(total - max_rows, batch - deleted)
+                    if overflow > 0:
+                        cur.execute(
+                            "DELETE FROM history WHERE id IN ("
+                            "SELECT id FROM history ORDER BY id LIMIT ?)",
+                            (overflow,),
+                        )
+                        deleted += cur.rowcount
+                cur.execute("COMMIT")
+            except sqlite3.DatabaseError:
+                cur.execute("ROLLBACK")
+                raise
+        return deleted
+
+    def retain_cache(
+        self, max_age: float, batch: int = 500, now: Optional[float] = None
+    ) -> int:
+        """Delete cache rows older than ``max_age`` seconds (bounded batch).
+
+        Row-count pressure is already handled inline by ``cache_put``;
+        this is the age window for stores whose working set goes cold.
+        """
+        if max_age <= 0:
+            return 0
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        if now is None:
+            now = time.time()
+        with self._lock:
+            cur = self._conn.cursor()
+            cur.execute("BEGIN IMMEDIATE")
+            try:
+                cur.execute(
+                    "DELETE FROM cache_entries WHERE rowid IN ("
+                    "SELECT rowid FROM cache_entries WHERE created_at < ? "
+                    "ORDER BY seq LIMIT ?)",
+                    (now - max_age, batch),
+                )
+                deleted = cur.rowcount
+                cur.execute("COMMIT")
+            except sqlite3.DatabaseError:
+                cur.execute("ROLLBACK")
+                raise
+        return int(deleted)
+
+    def backup(self, dest: Union[str, Path], pages: int = 256) -> Dict:
+        """Copy the live store to ``dest`` via the sqlite3 backup API.
+
+        The backup proceeds in ``pages``-sized steps so concurrent
+        writers keep making progress (sqlite restarts the copy if the
+        source changes under it); the result is a consistent snapshot —
+        a store file that opens clean and serves byte-identical cache
+        hits.  Refuses to overwrite the live file itself.
+        """
+        dest = str(dest)
+        if Path(dest).resolve() == Path(self.path).resolve():
+            raise ValueError("backup destination must differ from the live store")
+        with self._lock:
+            out = sqlite3.connect(dest)
+            try:
+                self._conn.backup(out, pages=pages)
+                out.commit()
+            finally:
+                out.close()
+        size = Path(dest).stat().st_size
+        return {"dest": dest, "bytes": int(size)}
+
+    def integrity_check(self) -> str:
+        """sqlite's own verdict on the file: ``"ok"`` or the first error."""
+        with self._lock:
+            row = self._conn.execute("PRAGMA integrity_check(1)").fetchone()
+        return str(row[0]) if row else "ok"
+
+    def scrub(self) -> Dict:
+        """Re-verify every cache seal plus the sqlite structure itself.
+
+        Walks all cache rows, recomputes each blob's sha256 against the
+        stored digest, purges mismatches (bit rot never serves a
+        poisoned result) and returns
+        ``{"checked", "purged", "integrity"}``.  Purging happens in one
+        transaction after the scan so the read pass holds no write lock.
+        """
+        bad: List[Tuple[str, str]] = []
+        checked = 0
+        with self._lock:
+            for namespace, key, blob, digest in self._conn.execute(
+                "SELECT namespace, key, blob, digest FROM cache_entries"
+            ):
+                checked += 1
+                if hashlib.sha256(blob.encode()).hexdigest() != digest:
+                    bad.append((namespace, key))
+            if bad:
+                cur = self._conn.cursor()
+                cur.execute("BEGIN IMMEDIATE")
+                try:
+                    for namespace, key in bad:
+                        cur.execute(
+                            "DELETE FROM cache_entries WHERE namespace = ? AND key = ?",
+                            (namespace, key),
+                        )
+                    cur.execute("COMMIT")
+                except sqlite3.DatabaseError:
+                    cur.execute("ROLLBACK")
+                    raise
+        return {
+            "checked": checked,
+            "purged": len(bad),
+            "integrity": self.integrity_check(),
+        }
+
+    # ------------------------------------------------------------------
     def snapshot(self) -> Dict:
         """Occupancy overview (the server folds this into ``/metrics``)."""
         with self._lock:
@@ -595,10 +1010,15 @@ class DiagnosisStore:
             )
             tenants = int(self._conn.execute("SELECT COUNT(*) FROM tenants").fetchone()[0])
             history = int(self._conn.execute("SELECT COUNT(*) FROM history").fetchone()[0])
+            buckets = int(
+                self._conn.execute("SELECT COUNT(*) FROM quota_buckets").fetchone()[0]
+            )
         return {
             "path": self.path,
             "cache_rows": cache_rows,
             "experience_rules": rule_rows,
             "tenants": tenants,
             "history_rows": history,
+            "quota_buckets": buckets,
+            "wal_bytes": self.wal_size(),
         }

@@ -16,10 +16,14 @@ this module owns the hot-path mechanics the server needs per request:
   (public) traffic is never quota-limited — quotas are a property of
   *provisioned* tenants.
 
-Both are process-local by design: quotas bound each replica's intake
-(a cluster of R replicas admits at most R×N per window — the usual
-per-instance semantics of fixed-window limiting), and the auth cache
-is just a read-through memo over the shared store.
+Both are process-local by design; the auth cache is just a
+read-through memo over the shared store.  Its TTL doubles as the
+advertised revocation latency: a rotated-away or revoked key keeps
+working from the cache for at most ``ttl`` seconds before the next
+store read rejects it.  :class:`QuotaTracker`'s fixed window is the
+store-free fallback — when ``--store`` is armed the server swaps in
+:class:`repro.store.quota.TokenBucketQuota`, whose bucket lives in the
+store file so a whole replica fleet shares one budget per tenant.
 """
 
 from __future__ import annotations

@@ -101,12 +101,73 @@ class TestQuota:
         assert excinfo.value.retry_after is not None
         assert float(excinfo.value.retry_after) >= 1
 
+    def test_retry_after_is_float_seconds_from_refill_rate(self, tmp_path):
+        """Token bucket, not fixed window: an empty 2-per-60s bucket
+        refills one token in exactly 30s, and the header says so."""
+        path, key = _provision(tmp_path, quota_limit=2, quota_interval=60.0)
+        with RunningServer(config=_server_config(path)) as rs:
+            with rs.client(api_key=key, retries=0) as client:
+                client.diagnose(HEALTHY_SPEC)
+                client.diagnose(HEALTHY_SPEC)
+                with pytest.raises(ClientError) as excinfo:
+                    client.diagnose(HEALTHY_SPEC)
+        seconds = excinfo.value.retry_after_seconds
+        assert seconds is not None
+        # A hair under 30 is possible (tokens accrued since the drain).
+        assert 25.0 <= seconds <= 30.0
+
+    def test_retry_after_seconds_parses_or_is_none(self):
+        err = ClientError(429, {"error": "quota"})
+        assert err.retry_after_seconds is None
+        err.retry_after = "29.500"
+        assert err.retry_after_seconds == pytest.approx(29.5)
+        err.retry_after = "soon"
+        assert err.retry_after_seconds is None
+
+    def test_quota_is_shared_across_server_restarts(self, tmp_path):
+        """The bucket lives in the store file, not the process: a second
+        server sees the budget the first one already spent."""
+        path, key = _provision(tmp_path, quota_limit=2, quota_interval=3600.0)
+        with RunningServer(config=_server_config(path)) as rs:
+            with rs.client(api_key=key, retries=0) as client:
+                client.diagnose(HEALTHY_SPEC)
+                client.diagnose(HEALTHY_SPEC)
+        with RunningServer(config=_server_config(path)) as rs:
+            with rs.client(api_key=key, retries=0) as client:
+                with pytest.raises(ClientError) as excinfo:
+                    client.diagnose(HEALTHY_SPEC)
+        assert excinfo.value.status == 429
+
     def test_quota_does_not_limit_public_traffic(self, tmp_path):
         path, _key = _provision(tmp_path, quota_limit=1, quota_interval=60.0)
         with RunningServer(config=_server_config(path)) as rs:
             with rs.client() as client:
                 for _ in range(3):
                     assert client.diagnose(HEALTHY_SPEC)["status"] == "ok"
+
+
+class TestRotationOverHttp:
+    def test_rotated_away_key_is_401_and_new_key_works(self, tmp_path):
+        path, old = _provision(tmp_path)
+        with DiagnosisStore(path) as store:
+            new = store.rotate_key("acme")
+        with RunningServer(config=_server_config(path)) as rs:
+            with rs.client(api_key=new) as client:
+                assert client.diagnose(HEALTHY_SPEC)["status"] == "ok"
+            with rs.client(api_key=old, retries=0) as client:
+                with pytest.raises(AuthError) as excinfo:
+                    client.diagnose(HEALTHY_SPEC)
+        assert excinfo.value.status == 401
+
+    def test_revoked_key_is_401(self, tmp_path):
+        path, key = _provision(tmp_path)
+        with DiagnosisStore(path) as store:
+            store.revoke_keys("acme")
+        with RunningServer(config=_server_config(path)) as rs:
+            with rs.client(api_key=key, retries=0) as client:
+                with pytest.raises(AuthError) as excinfo:
+                    client.diagnose(HEALTHY_SPEC)
+        assert excinfo.value.status == 401
 
 
 class TestTenantReport:

@@ -1,0 +1,167 @@
+"""Token-bucket quota tests: atomic debits, shared budgets, refill math.
+
+The bucket lives in the store file (``quota_buckets``), refilled and
+debited inside one ``BEGIN IMMEDIATE`` transaction — so two threads, or
+two separate connections (two cluster replicas), can hammer the same
+tenant and never jointly admit more than the budget allows.
+"""
+
+import sqlite3
+import tempfile
+import threading
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.store import DiagnosisStore, TenantRecord, TokenBucketQuota
+
+
+@pytest.fixture
+def store(tmp_path):
+    with DiagnosisStore(tmp_path / "store.db") as db:
+        yield db
+
+
+class TestQuotaDebit:
+    def test_bucket_admits_capacity_then_rejects(self, store):
+        t = 1000.0
+        for _ in range(3):
+            allowed, retry, _rem = store.quota_debit("acme", 3, 60.0, now=t)
+            assert allowed and retry == 0.0
+        allowed, retry, _rem = store.quota_debit("acme", 3, 60.0, now=t)
+        assert not allowed
+        # Refill rate is 3/60 = 0.05 tok/s: one full token is 20s away.
+        assert retry == pytest.approx(20.0)
+
+    def test_retry_after_is_float_seconds_from_rate(self, store):
+        t = 0.0
+        store.quota_debit("acme", 2, 60.0, now=t)
+        store.quota_debit("acme", 2, 60.0, now=t)
+        allowed, retry, _rem = store.quota_debit("acme", 2, 60.0, now=t)
+        assert not allowed
+        assert retry == pytest.approx(30.0)
+        # Partial refill shrinks the wait proportionally.
+        allowed, retry, _rem = store.quota_debit("acme", 2, 60.0, now=t + 15.0)
+        assert not allowed
+        assert retry == pytest.approx(15.0)
+
+    def test_refill_restores_tokens_up_to_capacity(self, store):
+        t = 0.0
+        for _ in range(2):
+            store.quota_debit("acme", 2, 10.0, now=t)
+        assert not store.quota_debit("acme", 2, 10.0, now=t)[0]
+        # One token accrues every interval/capacity = 5 seconds.
+        assert store.quota_debit("acme", 2, 10.0, now=t + 5.0)[0]
+        # A long idle period refills to capacity, never beyond it.
+        assert store.quota_debit("acme", 2, 10.0, now=t + 1000.0)[0]
+        assert store.quota_debit("acme", 2, 10.0, now=t + 1000.0)[0]
+        assert not store.quota_debit("acme", 2, 10.0, now=t + 1000.0)[0]
+
+    def test_zero_capacity_means_unlimited(self, store):
+        assert store.quota_debit("acme", 0, 60.0) == (True, 0.0, -1.0)
+        assert store.quota_debit("acme", 3, 0.0) == (True, 0.0, -1.0)
+
+    def test_clock_rewind_never_mints_tokens(self, store):
+        store.quota_debit("acme", 1, 60.0, now=100.0)
+        allowed, _retry, _rem = store.quota_debit("acme", 1, 60.0, now=50.0)
+        assert not allowed
+
+    def test_levels_expose_bucket_state(self, store):
+        store.quota_debit("acme", 5, 60.0, now=0.0)
+        levels = store.quota_levels()
+        assert levels == {"acme": pytest.approx(4.0)}
+
+
+class TestSharedBudget:
+    def test_two_threads_never_over_admit(self, store):
+        """100 concurrent attempts against a 50-token bucket: exactly 50 in."""
+        admitted = []
+        barrier = threading.Barrier(2)
+
+        def worker():
+            barrier.wait()
+            for _ in range(50):
+                allowed, _r, _t = store.quota_debit("acme", 50, 1e9, now=0.0)
+                if allowed:
+                    admitted.append(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert len(admitted) == 50
+
+    def test_two_connections_share_one_budget(self, store, tmp_path):
+        """A second connection (another replica) sees the same bucket."""
+        with DiagnosisStore(tmp_path / "store.db") as other:
+            assert store.quota_debit("acme", 2, 60.0, now=0.0)[0]
+            assert other.quota_debit("acme", 2, 60.0, now=0.0)[0]
+            allowed, retry, _rem = other.quota_debit("acme", 2, 60.0, now=0.0)
+            assert not allowed and retry > 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        steps=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=30.0),  # time advance
+                st.integers(min_value=1, max_value=5),     # debit attempts
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_admissions_never_exceed_refill_budget(self, steps):
+        """Property: over any schedule, admits <= capacity + elapsed*rate."""
+        capacity, interval = 4.0, 40.0
+        rate = capacity / interval
+        with tempfile.TemporaryDirectory() as tmp:
+            with DiagnosisStore(Path(tmp) / "prop.db") as db:
+                now, admitted = 0.0, 0
+                for advance, attempts in steps:
+                    now += advance
+                    for _ in range(attempts):
+                        if db.quota_debit("acme", capacity, interval, now=now)[0]:
+                            admitted += 1
+                    assert admitted <= capacity + now * rate + 1e-6
+
+
+class TestTokenBucketQuota:
+    def _tenant(self, limit=2, interval=60.0):
+        return TenantRecord("acme", "Acme", limit, interval, 0.0)
+
+    def test_check_maps_bucket_to_decision(self, store):
+        clock = [1000.0]
+        quota = TokenBucketQuota(store, clock=lambda: clock[0])
+        assert quota.check(self._tenant())
+        assert quota.check(self._tenant())
+        decision = quota.check(self._tenant())
+        assert not decision
+        assert decision.retry_after == pytest.approx(30.0)
+        assert quota.rejections == 1
+
+    def test_zero_limit_is_unlimited(self, store):
+        quota = TokenBucketQuota(store)
+        for _ in range(10):
+            assert quota.check(self._tenant(limit=0))
+        assert store.quota_levels() == {}
+
+    def test_sqlite_error_fails_open(self, store, monkeypatch):
+        quota = TokenBucketQuota(store)
+
+        def boom(*a, **kw):
+            raise sqlite3.OperationalError("disk glitch")
+
+        monkeypatch.setattr(store, "quota_debit", boom)
+        assert quota.check(self._tenant(limit=1))
+        assert quota.errors == 1
+
+    def test_snapshot_shape(self, store):
+        quota = TokenBucketQuota(store, clock=lambda: 0.0)
+        quota.check(self._tenant())
+        snap = quota.snapshot()
+        assert snap["kind"] == "token-bucket"
+        assert snap["tenants_tracked"] == 1
+        assert snap["buckets"]["acme"] == pytest.approx(1.0)
